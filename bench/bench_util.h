@@ -1,0 +1,201 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Each bench binary reproduces one table/figure from the paper's Section 5:
+// it builds a fresh simulated machine per data point, runs the closed-loop
+// client population, and prints the same series the paper plots, plus the
+// paper's qualitative anchors for comparison.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/httpd/cgi.h"
+#include "src/httpd/driver.h"
+#include "src/httpd/http_server.h"
+#include "src/system/system.h"
+#include "src/workload/trace.h"
+
+namespace iolbench {
+
+// The server configurations of Figures 3-12.
+enum class ServerKind {
+  kFlash,
+  kApache,
+  kFlashLite,             // GDS policy + checksum cache.
+  kFlashLiteLru,          // Figure 11 ablation: LRU instead of GDS.
+  kFlashLiteNoCksum,      // Figure 11 ablation: checksum cache off.
+  kFlashLiteLruNoCksum,   // Figure 11 ablation: both off.
+};
+
+inline const char* Name(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kFlash:
+      return "Flash";
+    case ServerKind::kApache:
+      return "Apache";
+    case ServerKind::kFlashLite:
+      return "Flash-Lite";
+    case ServerKind::kFlashLiteLru:
+      return "Flash-Lite-LRU";
+    case ServerKind::kFlashLiteNoCksum:
+      return "Flash-Lite-nocksum";
+    case ServerKind::kFlashLiteLruNoCksum:
+      return "Flash-Lite-LRU-nocksum";
+  }
+  return "?";
+}
+
+inline bool IsLite(ServerKind kind) {
+  return kind != ServerKind::kFlash && kind != ServerKind::kApache;
+}
+
+// A fully assembled machine + server pair for one run.
+struct Bench {
+  std::unique_ptr<iolsys::System> sys;
+  std::unique_ptr<iolhttp::HttpServer> server;
+};
+
+inline Bench MakeBench(ServerKind kind) {
+  iolsys::SystemOptions options;
+  switch (kind) {
+    case ServerKind::kFlashLite:
+      options.policy = iolsys::SystemOptions::Policy::kGds;
+      options.checksum_cache = true;
+      break;
+    case ServerKind::kFlashLiteLru:
+      options.policy = iolsys::SystemOptions::Policy::kPlainLru;
+      options.checksum_cache = true;
+      break;
+    case ServerKind::kFlashLiteNoCksum:
+      options.policy = iolsys::SystemOptions::Policy::kGds;
+      options.checksum_cache = false;
+      break;
+    case ServerKind::kFlashLiteLruNoCksum:
+      options.policy = iolsys::SystemOptions::Policy::kPlainLru;
+      options.checksum_cache = false;
+      break;
+    default:
+      // The copy-based servers use the kernel's default cache policy.
+      options.policy = iolsys::SystemOptions::Policy::kPaperLru;
+      options.checksum_cache = false;  // No identity to key a cache on.
+      break;
+  }
+  Bench b;
+  b.sys = std::make_unique<iolsys::System>(options);
+  switch (kind) {
+    case ServerKind::kFlash:
+      b.server = std::make_unique<iolhttp::FlashServer>(&b.sys->ctx(), &b.sys->net(),
+                                                        &b.sys->io());
+      break;
+    case ServerKind::kApache:
+      b.server = std::make_unique<iolhttp::ApacheServer>(&b.sys->ctx(), &b.sys->net(),
+                                                         &b.sys->io());
+      break;
+    default:
+      b.server = std::make_unique<iolhttp::FlashLiteServer>(&b.sys->ctx(), &b.sys->net(),
+                                                            &b.sys->io(), &b.sys->runtime());
+      break;
+  }
+  return b;
+}
+
+// Single-file experiment (Figures 3 and 4): all clients request one file.
+inline double RunSingleFile(ServerKind kind, size_t file_bytes, bool persistent,
+                            int clients = 40, uint64_t requests = 4000) {
+  Bench b = MakeBench(kind);
+  iolfs::FileId f = b.sys->fs().CreateFile("doc", file_bytes);
+  iolhttp::DriverConfig config;
+  config.num_clients = clients;
+  config.persistent_connections = persistent;
+  config.max_requests = requests;
+  config.warmup_requests = 200;
+  iolhttp::ClosedLoopDriver driver(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
+                                   b.server.get(), config);
+  return driver.Run([f] { return f; }).megabits_per_sec;
+}
+
+// CGI experiment (Figures 5 and 6).
+inline double RunCgi(ServerKind kind, size_t doc_bytes, bool persistent, int clients = 40,
+                     uint64_t requests = 4000) {
+  iolsys::SystemOptions options;
+  options.checksum_cache = IsLite(kind);
+  auto sys = std::make_unique<iolsys::System>(options);
+  sys->fs().CreateFile("unused", 16);
+  std::unique_ptr<iolhttp::HttpServer> server;
+  if (IsLite(kind)) {
+    server = std::make_unique<iolhttp::LiteCgiServer>(&sys->ctx(), &sys->net(), &sys->io(),
+                                                      &sys->runtime(), doc_bytes);
+  } else {
+    server = std::make_unique<iolhttp::CopyCgiServer>(&sys->ctx(), &sys->net(), &sys->io(),
+                                                      doc_bytes, kind == ServerKind::kApache);
+  }
+  iolhttp::DriverConfig config;
+  config.num_clients = clients;
+  config.persistent_connections = persistent;
+  config.max_requests = requests;
+  config.warmup_requests = 200;
+  iolhttp::ClosedLoopDriver driver(&sys->ctx(), &sys->net(), &sys->cache(), server.get(),
+                                   config);
+  return driver.Run([] { return iolfs::FileId{1}; }).megabits_per_sec;
+}
+
+struct TraceRunResult {
+  double mbps = 0;
+  double hit_rate = 0;
+};
+
+// Trace replay (Figures 8, 10, 11, 12). `sequential` replays the log in
+// order with a shared cursor (Figure 8); otherwise clients pick random
+// entries, SpecWeb96-style (Figures 10-12).
+inline TraceRunResult RunTrace(ServerKind kind, const iolwl::Trace& trace, int clients,
+                               uint64_t requests, bool sequential,
+                               iolsim::SimTime round_trip_delay = 0,
+                               uint64_t warmup = 2000) {
+  Bench b = MakeBench(kind);
+  std::vector<iolfs::FileId> ids = trace.Materialize(&b.sys->fs());
+
+  iolhttp::DriverConfig config;
+  config.num_clients = clients;
+  config.persistent_connections = false;
+  config.max_requests = requests;
+  config.warmup_requests = warmup;
+  config.enforce_cache_budget = true;
+  config.delay.one_way_delay = round_trip_delay / 2;
+  if (kind == ServerKind::kApache) {
+    config.max_concurrent = 150;  // Apache 1.3's default MaxClients.
+  }
+  iolhttp::ClosedLoopDriver driver(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
+                                   b.server.get(), config);
+
+  size_t cursor = 0;
+  iolsim::Rng rng(7777);
+  const std::vector<uint32_t>& reqs = trace.requests();
+  iolhttp::DriverResult result = driver.Run([&]() -> iolfs::FileId {
+    uint32_t rank;
+    if (sequential) {
+      rank = reqs[cursor++ % reqs.size()];
+    } else {
+      rank = reqs[rng.NextBelow(reqs.size())];
+    }
+    return ids[rank];
+  });
+  TraceRunResult out;
+  out.mbps = result.megabits_per_sec;
+  out.hit_rate = result.cache_hit_rate;
+  return out;
+}
+
+// Formatting helpers.
+inline void PrintHeader(const std::string& title, const std::string& columns) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("%s\n", columns.c_str());
+}
+
+}  // namespace iolbench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,34 @@
+// Figure 4: persistent-connection (HTTP/1.1 keep-alive) single-file test.
+//
+// Paper anchors: small-file rates rise sharply for Flash and Flash-Lite
+// (TCP setup/teardown eliminated); Apache's process-per-connection model
+// prevents it from benefiting; Flash-Lite outperforms Flash by up to 43%
+// at >= 20 KB, is within 10% of network saturation at 17 KB, and saturates
+// the network at >= 30 KB.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using iolbench::ServerKind;
+  const std::vector<size_t> sizes = {500,        1 * 1024,   2 * 1024,   3 * 1024,
+                                     5 * 1024,   7 * 1024,   10 * 1024,  15 * 1024,
+                                     17 * 1024,  20 * 1024,  30 * 1024,  50 * 1024,
+                                     100 * 1024, 150 * 1024, 200 * 1024};
+
+  iolbench::PrintHeader("Figure 4: persistent-HTTP single-file bandwidth (Mb/s)",
+                        "size_kb\tFlash-Lite\tFlash\tApache\tlite/flash");
+  for (size_t size : sizes) {
+    double lite = iolbench::RunSingleFile(ServerKind::kFlashLite, size, true);
+    double flash = iolbench::RunSingleFile(ServerKind::kFlash, size, true);
+    double apache = iolbench::RunSingleFile(ServerKind::kApache, size, true);
+    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite, flash, apache,
+                lite / flash);
+  }
+  std::printf(
+      "# paper: Flash-Lite within 10%% of saturation at 17KB, saturates >=30KB; up to +43%% "
+      "over Flash at >=20KB; Apache gains little from persistence\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 12: throughput versus WAN round-trip delay.
+//
+// Delay routers add RTT between clients and server; the client population
+// scales linearly with delay (64 in the LAN case up to 900 at 150 ms) to
+// keep the server saturated. Data set: a 120 MB prefix of the MERGED
+// subtrace (neither fully disk-bound nor CPU-limited).
+//
+// Paper anchors: Flash drops ~33% and Apache ~50% as delay grows (TCP send
+// buffers and server processes consume file-cache memory); Flash-Lite is
+// unaffected and even gains slightly.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using iolbench::ServerKind;
+  const uint64_t kRequests = 80000;
+  iolwl::TraceSpec spec = iolwl::SubtraceSpec();
+  spec.num_requests = 400000;  // Full coverage (see fig10).
+  iolwl::Trace prefix = iolwl::Trace::Generate(spec).Prefix(120ull << 20);
+
+  struct Point {
+    const char* label;
+    iolsim::SimTime rtt;
+    int clients;
+  };
+  const std::vector<Point> points = {
+      {"LAN", 0, 64},
+      {"5ms", 5 * iolsim::kMillisecond, 92},
+      {"50ms", 50 * iolsim::kMillisecond, 343},
+      {"100ms", 100 * iolsim::kMillisecond, 621},
+      {"150ms", 150 * iolsim::kMillisecond, 900},
+  };
+
+  iolbench::PrintHeader("Figure 12: throughput vs WAN round-trip delay (Mb/s), 120MB dataset",
+                        "delay\tclients\tFlash-Lite\tFlash\tApache");
+  std::vector<double> first;
+  for (const Point& point : points) {
+    auto lite = iolbench::RunTrace(ServerKind::kFlashLite, prefix, point.clients, kRequests,
+                                   false, point.rtt, 30000);
+    auto flash = iolbench::RunTrace(ServerKind::kFlash, prefix, point.clients, kRequests,
+                                    false, point.rtt, 30000);
+    auto apache = iolbench::RunTrace(ServerKind::kApache, prefix, point.clients, kRequests,
+                                     false, point.rtt, 30000);
+    std::printf("%s\t%d\t%.1f\t%.1f\t%.1f\n", point.label, point.clients, lite.mbps,
+                flash.mbps, apache.mbps);
+    if (first.empty()) {
+      first = {lite.mbps, flash.mbps, apache.mbps};
+    } else if (&point == &points.back()) {
+      std::printf("# drop vs LAN: Flash-Lite %.0f%%, Flash %.0f%%, Apache %.0f%%\n",
+                  100.0 * (1 - lite.mbps / first[0]), 100.0 * (1 - flash.mbps / first[1]),
+                  100.0 * (1 - apache.mbps / first[2]));
+    }
+  }
+  std::printf("# paper: Flash -33%%, Apache -50%%, Flash-Lite flat or slightly up\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// The converted UNIX applications of Section 5.8: wc, cat|grep, and
+// permute|wc, each in an unmodified (POSIX copy-semantics) variant and an
+// IO-Lite variant. The programs do real work over real bytes — wc counts
+// the simulated file's actual words; grep finds actual pattern matches —
+// while charging the cost model, so functional equality between the two
+// variants is a test invariant and the runtime ratio is the benchmark.
+
+#ifndef SRC_APPS_FILTERS_H_
+#define SRC_APPS_FILTERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/system/system.h"
+
+namespace iolapp {
+
+struct WcCounts {
+  uint64_t lines = 0;
+  uint64_t words = 0;
+  uint64_t bytes = 0;
+  bool operator==(const WcCounts&) const = default;
+};
+
+// wc reading a (cached) file with read(2): syscalls + copies + scan.
+WcCounts WcPosix(iolsys::System* sys, iolfs::FileId file);
+
+// wc converted to IOL_read: iterates the aggregate's slices in place. The
+// remaining overhead is mapping the cached file's chunks into the
+// application's address space (first run only).
+WcCounts WcIolite(iolsys::System* sys, iolfs::FileId file);
+
+// cat file | grep pattern: returns the number of pattern occurrences.
+// POSIX: three copies (cat read, cat->pipe, pipe->grep).
+uint64_t GrepCatPosix(iolsys::System* sys, iolfs::FileId file, const std::string& pattern);
+
+// IO-Lite variant: all three copies eliminated; lines (here: matches)
+// spanning buffer boundaries are copied into contiguous memory, as the
+// converted grep does.
+uint64_t GrepCatIolite(iolsys::System* sys, iolfs::FileId file, const std::string& pattern);
+
+// permute | wc: generates the k-word permutations of `sentence` (split into
+// words of `word_len` chars) into a pipe consumed by wc. The paper's
+// configuration is a 40-character string of ten 4-character words:
+// 10! * 40 = 145,152,000 bytes through the pipe.
+WcCounts PermuteWcPosix(iolsys::System* sys, const std::string& sentence, size_t word_len);
+WcCounts PermuteWcIolite(iolsys::System* sys, const std::string& sentence, size_t word_len);
+
+// Shared scanning helpers (exposed for unit tests).
+void WcScan(const char* data, size_t n, bool* in_word, WcCounts* counts);
+uint64_t CountMatches(const char* data, size_t n, const std::string& pattern);
+
+}  // namespace iolapp
+
+#endif  // SRC_APPS_FILTERS_H_

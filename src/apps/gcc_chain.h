@@ -1,0 +1,41 @@
+// The compiler-chain experiment of Section 5.8 (the "gcc" bar of Figure 13).
+//
+// The paper relinks the gcc tool chain (driver, cpp, cc1, as) against a
+// stdio library that uses IO-Lite for pipe communication. Compilation is
+// compute-bound, and only the *interprocess* copying is eliminated — the
+// application<->stdio copies remain — so the measured benefit is ~zero.
+//
+// We model the chain as a per-file pipeline of compute stages with realistic
+// expansion factors, connected by stdio-buffered pipes:
+//   cpp (x3.0 output) -> cc1 (slow, x2.0) -> as (x0.3)
+// The gcc sources themselves are proprietary-irrelevant; the stage structure
+// and byte flows are what the experiment exercises.
+
+#ifndef SRC_APPS_GCC_CHAIN_H_
+#define SRC_APPS_GCC_CHAIN_H_
+
+#include <cstdint>
+
+#include "src/system/system.h"
+
+namespace iolapp {
+
+struct GccChainConfig {
+  int num_files = 27;                       // The paper's 27-file set.
+  uint64_t total_source_bytes = 167 * 1024; // 167 KB total.
+  double cpp_expand = 3.0;
+  double cc1_expand = 2.0;
+  double as_expand = 0.3;
+  double cpp_bytes_per_sec = 8.0e6;
+  double cc1_bytes_per_sec = 1.2e6;  // Compilation dominates.
+  double as_bytes_per_sec = 5.0e6;
+};
+
+// Returns total bytes that crossed the two pipes (for sanity checks);
+// simulated time is read off the System's clock by the caller.
+uint64_t GccChainPosix(iolsys::System* sys, const GccChainConfig& config);
+uint64_t GccChainIolite(iolsys::System* sys, const GccChainConfig& config);
+
+}  // namespace iolapp
+
+#endif  // SRC_APPS_GCC_CHAIN_H_

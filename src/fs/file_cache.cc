@@ -1,0 +1,216 @@
+#include "src/fs/file_cache.h"
+
+#include <cassert>
+#include <vector>
+
+namespace iolfs {
+
+void FileCache::SetPolicy(std::unique_ptr<ReplacementPolicy> policy) {
+  for (const auto& [id, entry] : entries_) {
+    policy->OnInsert(id, entry.data.size());
+  }
+  policy_ = std::move(policy);
+}
+
+std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset, size_t length) {
+  auto fit = by_file_.find(file);
+  if (fit == by_file_.end()) {
+    ctx_->stats().cache_misses++;
+    return std::nullopt;
+  }
+  const std::map<uint64_t, EntryId>& runs = fit->second;
+
+  // Find the run containing `offset`, then walk adjacent runs until the
+  // requested range is covered or a gap appears.
+  auto it = runs.upper_bound(offset);
+  if (it == runs.begin()) {
+    ctx_->stats().cache_misses++;
+    return std::nullopt;
+  }
+  --it;
+
+  uint64_t want_end = offset + length;
+  uint64_t covered_to = offset;
+  std::vector<EntryId> path;
+  while (covered_to < want_end) {
+    if (it == runs.end() || it->first > covered_to) {
+      ctx_->stats().cache_misses++;
+      return std::nullopt;  // Gap.
+    }
+    const Entry& entry = entries_.at(it->second);
+    uint64_t run_end = entry.offset + entry.data.size();
+    if (run_end <= covered_to) {
+      ctx_->stats().cache_misses++;
+      return std::nullopt;  // Run ends before reaching our position.
+    }
+    path.push_back(it->second);
+    covered_to = run_end;
+    ++it;
+  }
+
+  // Assemble the requested window; the aggregate is a value whose slices
+  // reference the cached immutable buffers.
+  iolite::Aggregate out;
+  for (EntryId id : path) {
+    const Entry& entry = entries_.at(id);
+    uint64_t run_begin = entry.offset;
+    uint64_t run_end = entry.offset + entry.data.size();
+    uint64_t from = offset > run_begin ? offset : run_begin;
+    uint64_t to = want_end < run_end ? want_end : run_end;
+    out.Append(entry.data.Range(from - run_begin, to - from));
+    policy_->OnAccess(id);
+  }
+  assert(out.size() == length);
+  ctx_->stats().cache_hits++;
+  return out;
+}
+
+void FileCache::Insert(FileId file, uint64_t offset, iolite::Aggregate data) {
+  if (data.empty()) {
+    return;
+  }
+  uint64_t end = offset + data.size();
+  std::map<uint64_t, EntryId>& runs = by_file_[file];
+
+  // Collect overlapping runs: start from the run preceding `offset`.
+  std::vector<EntryId> overlapping;
+  auto it = runs.upper_bound(offset);
+  if (it != runs.begin()) {
+    auto prev = std::prev(it);
+    const Entry& e = entries_.at(prev->second);
+    if (e.offset + e.data.size() > offset) {
+      overlapping.push_back(prev->second);
+    }
+  }
+  while (it != runs.end() && it->first < end) {
+    overlapping.push_back(it->second);
+    ++it;
+  }
+
+  // A write replaces the overlapped portions (Section 3.5). Non-overlapped
+  // remainders of trimmed entries are re-inserted so no cached data beyond
+  // the written range is lost. The replaced buffers persist while other
+  // references exist — snapshot semantics.
+  struct Remainder {
+    uint64_t offset;
+    iolite::Aggregate data;
+  };
+  std::vector<Remainder> remainders;
+  for (EntryId id : overlapping) {
+    Entry& e = entries_.at(id);
+    uint64_t run_end = e.offset + e.data.size();
+    if (e.offset < offset) {
+      remainders.push_back({e.offset, e.data.Range(0, offset - e.offset)});
+    }
+    if (run_end > end) {
+      remainders.push_back({end, e.data.Range(end - e.offset, run_end - end)});
+    }
+    EraseEntry(id);
+  }
+
+  auto add = [&](uint64_t off, iolite::Aggregate agg) {
+    EntryId id = next_id_++;
+    bytes_ += agg.size();
+    for (const iolite::Slice& s : agg.slices()) {
+      cache_refs_[s.buffer().get()]++;
+    }
+    size_t sz = agg.size();
+    entries_.emplace(id, Entry{file, off, std::move(agg)});
+    by_file_[file][off] = id;
+    policy_->OnInsert(id, sz);
+  };
+
+  for (Remainder& r : remainders) {
+    add(r.offset, std::move(r.data));
+  }
+  add(offset, std::move(data));
+}
+
+void FileCache::InvalidateFile(FileId file) {
+  auto fit = by_file_.find(file);
+  if (fit == by_file_.end()) {
+    return;
+  }
+  std::vector<EntryId> ids;
+  for (const auto& [off, id] : fit->second) {
+    ids.push_back(id);
+  }
+  for (EntryId id : ids) {
+    EraseEntry(id);
+  }
+}
+
+int FileCache::EnforceBudget(uint64_t budget) {
+  int evicted = 0;
+  while (bytes_ > budget && EvictOne()) {
+    ++evicted;
+  }
+  return evicted;
+}
+
+bool FileCache::EvictOne() {
+  EntryId victim = policy_->ChooseVictim(*this);
+  if (victim == kNoEntry) {
+    return false;
+  }
+  EraseEntry(victim);
+  ctx_->stats().cache_evictions++;
+  return true;
+}
+
+bool FileCache::IsReferenced(EntryId id) const {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  for (const iolite::Slice& s : it->second.data.slices()) {
+    const iolite::Buffer* b = s.buffer().get();
+    auto rit = cache_refs_.find(const_cast<iolite::Buffer*>(b));
+    int held_by_cache = rit == cache_refs_.end() ? 0 : rit->second;
+    if (b->refcount() > held_by_cache) {
+      return true;  // Someone outside the cache holds this buffer.
+    }
+  }
+  return false;
+}
+
+size_t FileCache::SizeOf(EntryId id) const {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  return it->second.data.size();
+}
+
+void FileCache::EraseEntry(EntryId id) {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  bytes_ -= it->second.data.size();
+  for (const iolite::Slice& s : it->second.data.slices()) {
+    auto rit = cache_refs_.find(s.buffer().get());
+    assert(rit != cache_refs_.end());
+    if (--rit->second == 0) {
+      cache_refs_.erase(rit);
+    }
+  }
+  by_file_[it->second.file].erase(it->second.offset);
+  policy_->OnErase(id);
+  entries_.erase(it);
+}
+
+bool EvictionTrigger::OnPageSelected(bool page_held_cached_io_data) {
+  ++total_pages_;
+  if (page_held_cached_io_data) {
+    ++io_pages_;
+  }
+  // "If, during the period since the last cache entry eviction, more than
+  // half of VM pages selected for replacement were pages containing cached
+  // I/O data, then the current file cache is too large: evict one entry."
+  if (io_pages_ * 2 > total_pages_) {
+    if (cache_->EvictOne()) {
+      ++evictions_;
+    }
+    io_pages_ = 0;
+    total_pages_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace iolfs

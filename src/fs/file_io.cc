@@ -1,0 +1,37 @@
+#include "src/fs/file_io.h"
+
+namespace iolfs {
+
+iolite::Aggregate FileIoService::ReadExtent(FileId file, uint64_t offset, size_t length,
+                                            bool* was_miss) {
+  if (was_miss != nullptr) {
+    *was_miss = false;
+  }
+  if (length == 0) {
+    return iolite::Aggregate{};
+  }
+  std::optional<iolite::Aggregate> cached = cache_->Lookup(file, offset, length);
+  if (cached.has_value()) {
+    return std::move(*cached);
+  }
+  if (was_miss != nullptr) {
+    *was_miss = true;
+  }
+  // Miss: fetch the whole extent from disk in one sweep and cache it.
+  // (Partial coverage is treated as a miss for the full extent; the paper's
+  // cache is enlarged by one entry per miss.)
+  iolite::BufferRef buffer = fs_->ReadFromDisk(file, offset, length);
+  iolite::Aggregate agg = iolite::Aggregate::FromBuffer(std::move(buffer));
+  cache_->Insert(file, offset, agg);
+  return agg;
+}
+
+void FileIoService::WriteExtent(FileId file, uint64_t offset, const iolite::Aggregate& data) {
+  if (data.empty()) {
+    return;
+  }
+  cache_->Insert(file, offset, data);
+  fs_->WriteToDisk(file, offset, data);
+}
+
+}  // namespace iolfs

@@ -1,0 +1,87 @@
+// File I/O service: the read/write path joining the file system, the
+// unified file cache and the IO-Lite runtime.
+//
+// Reads return aggregates referencing cached immutable buffers (zero copies
+// on a hit; one disk DMA fill on a miss). Writes replace the corresponding
+// cache extents — earlier readers keep their snapshots. FileStream adapts a
+// <file, position> pair to the Stream interface so files can be read with
+// IOL_read like any descriptor.
+
+#ifndef SRC_FS_FILE_IO_H_
+#define SRC_FS_FILE_IO_H_
+
+#include <memory>
+
+#include "src/fs/file_cache.h"
+#include "src/fs/sim_file_system.h"
+#include "src/iolite/runtime.h"
+#include "src/iolite/stream.h"
+
+namespace iolfs {
+
+class FileIoService {
+ public:
+  FileIoService(iolsim::SimContext* ctx, SimFileSystem* fs, FileCache* cache)
+      : ctx_(ctx), fs_(fs), cache_(cache) {}
+
+  FileIoService(const FileIoService&) = delete;
+  FileIoService& operator=(const FileIoService&) = delete;
+
+  SimFileSystem& fs() { return *fs_; }
+  FileCache& cache() { return *cache_; }
+
+  // Reads [offset, offset+length) through the cache. On a miss the extent
+  // is read from disk into a fresh IO-Lite buffer and inserted. If
+  // `was_miss` is non-null it reports whether disk I/O happened.
+  iolite::Aggregate ReadExtent(FileId file, uint64_t offset, size_t length,
+                               bool* was_miss = nullptr);
+
+  // Replaces [offset, offset+data.size()) in both the cache and the file.
+  void WriteExtent(FileId file, uint64_t offset, const iolite::Aggregate& data);
+
+ private:
+  iolsim::SimContext* ctx_;
+  SimFileSystem* fs_;
+  FileCache* cache_;
+};
+
+// Stream over an open file with a cursor, for the descriptor-based API.
+class FileStream : public iolite::Stream {
+ public:
+  FileStream(FileIoService* io, FileId file) : io_(io), file_(file) {
+    io_->fs().TouchMetadata(file_);
+  }
+
+  iolite::Aggregate Read(iolsim::DomainId /*reader*/, size_t max_bytes) override {
+    uint64_t size = io_->fs().SizeOf(file_);
+    if (position_ >= size) {
+      return iolite::Aggregate{};
+    }
+    size_t len = max_bytes;
+    if (position_ + len > size) {
+      len = size - position_;
+    }
+    iolite::Aggregate agg = io_->ReadExtent(file_, position_, len);
+    position_ += agg.size();
+    return agg;
+  }
+
+  size_t Write(iolsim::DomainId /*writer*/, const iolite::Aggregate& agg) override {
+    io_->WriteExtent(file_, position_, agg);
+    position_ += agg.size();
+    return agg.size();
+  }
+
+  void Seek(uint64_t position) { position_ = position; }
+  uint64_t position() const { return position_; }
+  FileId file() const { return file_; }
+
+ private:
+  FileIoService* io_;
+  FileId file_;
+  uint64_t position_ = 0;
+};
+
+}  // namespace iolfs
+
+#endif  // SRC_FS_FILE_IO_H_

@@ -1,0 +1,107 @@
+#include "src/fs/replacement_policy.h"
+
+#include <cassert>
+
+namespace iolfs {
+
+// --- PaperLruPolicy ---------------------------------------------------------
+
+void PaperLruPolicy::OnInsert(EntryId id, size_t /*bytes*/) {
+  lru_.push_back(id);
+  index_[id] = std::prev(lru_.end());
+}
+
+void PaperLruPolicy::OnAccess(EntryId id) {
+  auto it = index_.find(id);
+  assert(it != index_.end());
+  lru_.splice(lru_.end(), lru_, it->second);
+}
+
+void PaperLruPolicy::OnErase(EntryId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+EntryId PaperLruPolicy::ChooseVictim(const CacheView& view) {
+  // Least recently used among currently unreferenced entries...
+  for (EntryId id : lru_) {
+    if (!view.IsReferenced(id)) {
+      return id;
+    }
+  }
+  // ...else least recently used among the referenced entries.
+  return lru_.empty() ? kNoEntry : lru_.front();
+}
+
+// --- PlainLruPolicy ---------------------------------------------------------
+
+void PlainLruPolicy::OnInsert(EntryId id, size_t /*bytes*/) {
+  lru_.push_back(id);
+  index_[id] = std::prev(lru_.end());
+}
+
+void PlainLruPolicy::OnAccess(EntryId id) {
+  auto it = index_.find(id);
+  assert(it != index_.end());
+  lru_.splice(lru_.end(), lru_, it->second);
+}
+
+void PlainLruPolicy::OnErase(EntryId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+EntryId PlainLruPolicy::ChooseVictim(const CacheView& /*view*/) {
+  return lru_.empty() ? kNoEntry : lru_.front();
+}
+
+// --- GreedyDualSizePolicy ---------------------------------------------------
+
+double GreedyDualSizePolicy::PriorityFor(size_t bytes) const {
+  // H = L + cost/size with cost = 1; larger objects get lower priority.
+  return inflation_ + 1.0 / static_cast<double>(bytes == 0 ? 1 : bytes);
+}
+
+void GreedyDualSizePolicy::OnInsert(EntryId id, size_t bytes) {
+  double h = PriorityFor(bytes);
+  meta_[id] = Meta{h, bytes};
+  queue_.emplace(h, id);
+}
+
+void GreedyDualSizePolicy::OnAccess(EntryId id) {
+  auto it = meta_.find(id);
+  assert(it != meta_.end());
+  queue_.erase({it->second.priority, id});
+  it->second.priority = PriorityFor(it->second.bytes);
+  queue_.emplace(it->second.priority, id);
+}
+
+void GreedyDualSizePolicy::OnErase(EntryId id) {
+  auto it = meta_.find(id);
+  if (it == meta_.end()) {
+    return;
+  }
+  queue_.erase({it->second.priority, id});
+  meta_.erase(it);
+}
+
+EntryId GreedyDualSizePolicy::ChooseVictim(const CacheView& /*view*/) {
+  if (queue_.empty()) {
+    return kNoEntry;
+  }
+  auto [h, id] = *queue_.begin();
+  // Aging: L rises to the evicted priority, so recently-touched entries
+  // outrank long-idle ones regardless of size.
+  inflation_ = h;
+  return id;
+}
+
+}  // namespace iolfs

@@ -1,0 +1,156 @@
+#include "src/fs/sim_file_system.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace iolfs {
+
+namespace {
+
+// Deterministic byte generator: mixes the file's seed with the absolute
+// offset so any subrange can be regenerated independently.
+inline uint8_t SynthByte(uint64_t seed, uint64_t offset) {
+  uint64_t z = seed + offset * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<uint8_t>((z ^ (z >> 31)) & 0xff);
+}
+
+}  // namespace
+
+bool SimFileSystem::MetadataCache::Touch(FileId file) {
+  auto it = index_.find(file);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  if (lru_.size() >= slots_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(file);
+  index_[file] = lru_.begin();
+  return false;
+}
+
+FileId SimFileSystem::CreateFile(const std::string& name, uint64_t size) {
+  FileId id = next_file_++;
+  File& f = files_[id];
+  f.name = name;
+  f.size = size;
+  f.content_seed = 0x5851f42d4c957f2dull * static_cast<uint64_t>(id) + 0x14057b7ef767814full;
+  by_name_[name] = id;
+  total_bytes_ += size;
+  return id;
+}
+
+FileId SimFileSystem::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidFile : it->second;
+}
+
+uint64_t SimFileSystem::SizeOf(FileId file) const {
+  auto it = files_.find(file);
+  assert(it != files_.end());
+  return it->second.size;
+}
+
+void SimFileSystem::TouchMetadata(FileId file) {
+  if (!metadata_cache_.Touch(file)) {
+    // Inode block read: one small disk access.
+    ctx_->ChargeDisk(ctx_->cost().DiskAccessCost(512));
+    ctx_->stats().disk_reads++;
+    ctx_->stats().disk_bytes_read += 512;
+  }
+}
+
+uint8_t SimFileSystem::ContentByteAt(FileId file, uint64_t offset) const {
+  auto it = files_.find(file);
+  assert(it != files_.end());
+  const File& f = it->second;
+  assert(offset < f.size);
+  // Most-recent write wins: check the overlay first.
+  auto ov = f.overlay.upper_bound(offset);
+  if (ov != f.overlay.begin()) {
+    --ov;
+    if (offset < ov->first + ov->second.size()) {
+      return static_cast<uint8_t>(ov->second[offset - ov->first]);
+    }
+  }
+  return SynthByte(f.content_seed, offset);
+}
+
+iolite::BufferRef SimFileSystem::ReadFromDisk(FileId file, uint64_t offset, size_t length) {
+  auto it = files_.find(file);
+  assert(it != files_.end());
+  assert(offset + length <= it->second.size && "read past end of file");
+
+  ctx_->ChargeDisk(ctx_->cost().DiskAccessCost(length));
+  ctx_->stats().disk_reads++;
+  ctx_->stats().disk_bytes_read += length;
+
+  // DMA fill: real bytes, no CPU charge.
+  iolite::BufferRef buffer = pool_->Allocate(length);
+  char* dst = buffer->writable_data();
+  const File& f = it->second;
+  if (f.overlay.empty()) {
+    for (size_t i = 0; i < length; ++i) {
+      dst[i] = static_cast<char>(SynthByte(f.content_seed, offset + i));
+    }
+  } else {
+    for (size_t i = 0; i < length; ++i) {
+      dst[i] = static_cast<char>(ContentByteAt(file, offset + i));
+    }
+  }
+  buffer->Seal(length);
+  return buffer;
+}
+
+void SimFileSystem::WriteToDisk(FileId file, uint64_t offset, const iolite::Aggregate& data) {
+  auto it = files_.find(file);
+  assert(it != files_.end());
+  File& f = it->second;
+
+  size_t length = data.size();
+  ctx_->ChargeDisk(ctx_->cost().DiskAccessCost(length));
+  ctx_->stats().disk_writes++;
+  ctx_->stats().disk_bytes_written += length;
+
+  if (offset + length > f.size) {
+    total_bytes_ += offset + length - f.size;
+    f.size = offset + length;
+  }
+
+  // Fold the bytes into the overlay. Remove or trim overlapped runs first.
+  std::string bytes = data.ToString();
+  uint64_t end = offset + length;
+  auto ov = f.overlay.lower_bound(offset);
+  // A run starting before `offset` may overlap: trim its tail, and if the
+  // run extends past `end` (the write lands strictly inside it), preserve
+  // the part beyond the write as a new run.
+  if (ov != f.overlay.begin()) {
+    auto prev = std::prev(ov);
+    uint64_t prev_end = prev->first + prev->second.size();
+    if (prev_end > offset) {
+      if (prev_end > end) {
+        f.overlay[end] = prev->second.substr(end - prev->first);
+      }
+      prev->second.resize(offset - prev->first);
+      ov = f.overlay.lower_bound(offset);  // Iterator may be stale after insert.
+    }
+  }
+  // Runs starting inside [offset, end): drop, preserving any tail past end.
+  while (ov != f.overlay.end() && ov->first < end) {
+    uint64_t run_end = ov->first + ov->second.size();
+    if (run_end > end) {
+      std::string tail = ov->second.substr(end - ov->first);
+      f.overlay[end] = std::move(tail);
+      f.overlay.erase(ov);
+      break;
+    }
+    ov = f.overlay.erase(ov);
+  }
+  f.overlay[offset] = std::move(bytes);
+}
+
+}  // namespace iolfs

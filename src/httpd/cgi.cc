@@ -1,0 +1,124 @@
+#include "src/httpd/cgi.h"
+
+#include <cstring>
+
+namespace iolhttp {
+
+// --- CopyCgiProcess ---------------------------------------------------------
+
+CopyCgiProcess::CopyCgiProcess(iolsim::SimContext* ctx, size_t doc_bytes) : ctx_(ctx) {
+  doc_.resize(doc_bytes);
+  // Real, deterministic content.
+  for (size_t i = 0; i < doc_bytes; ++i) {
+    doc_[i] = static_cast<char>('a' + (i * 131) % 26);
+  }
+}
+
+void CopyCgiProcess::ProduceResponse(iolposix::PosixPipe* pipe) {
+  // FastCGI dispatch overhead (context switch into the CGI process).
+  ctx_->ChargeCpu(ctx_->cost().params().cgi_request_cpu);
+  // The pipe write copies the document into the kernel.
+  pipe->Write(doc_.data(), doc_.size());
+}
+
+// --- LiteCgiProcess ---------------------------------------------------------
+
+LiteCgiProcess::LiteCgiProcess(iolsim::SimContext* ctx, iolite::IoLiteRuntime* runtime,
+                               size_t doc_bytes)
+    : ctx_(ctx) {
+  domain_ = ctx_->vm().CreateDomain("cgi-process");
+  pool_ = runtime->CreatePool("cgi-pool", domain_);
+  // Build the cached document once: generation cost paid here, after which
+  // the same immutable buffers are reused for every request (the "caching
+  // CGI program" of Section 3.10).
+  std::vector<char> bytes(doc_bytes);
+  for (size_t i = 0; i < doc_bytes; ++i) {
+    bytes[i] = static_cast<char>('A' + (i * 131) % 26);
+  }
+  iolite::BufferRef buffer = pool_->AllocateFrom(bytes.data(), doc_bytes);
+  doc_ = iolite::Aggregate::FromBuffer(std::move(buffer));
+}
+
+void LiteCgiProcess::ProduceResponse(iolite::PipeChannel* channel) {
+  ctx_->ChargeCpu(ctx_->cost().params().cgi_request_cpu);
+  // IOL_write on the pipe: one syscall, references move, nothing is copied.
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  channel->Push(doc_);
+}
+
+// --- CopyCgiServer ----------------------------------------------------------
+
+CopyCgiServer::CopyCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+                             iolfs::FileIoService* io, size_t doc_bytes, bool apache_costs)
+    : HttpServer(ctx, net, io), apache_costs_(apache_costs), cgi_(ctx, doc_bytes), pipe_(ctx) {
+  server_buf_.resize(doc_bytes);
+}
+
+size_t CopyCgiServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId /*file*/) {
+  const iolsim::CostParams& p = ctx_->cost().params();
+  ctx_->ChargeCpu(apache_costs_ ? p.apache_request_cpu : p.flash_request_cpu);
+  conn->ReceiveRequest(kRequestBytes);
+
+  // The CGI process writes the document into the pipe (copy #1)...
+  cgi_.ProduceResponse(&pipe_);
+  // ...blocking on the pipe buffer as it fills: one producer/consumer
+  // context switch per pipe-buffer's worth of data...
+  uint64_t chunks = (cgi_.doc_bytes() + p.pipe_buffer_bytes - 1) / p.pipe_buffer_bytes;
+  ctx_->ChargeCpu(p.context_switch_cost * static_cast<iolsim::SimTime>(chunks));
+  // ...and the server reads it out into its own buffer (copy #2).
+  pipe_.Read(server_buf_.data(), server_buf_.size());
+
+  char header[kResponseHeaderBytes];
+  size_t header_len = BuildHeader(header, server_buf_.size());
+
+  // ...and writev copies header + body into the socket buffer (copy #3).
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  return conn->SendPrivateCopy(header, header_len, server_buf_.data(), server_buf_.size());
+}
+
+// --- LiteCgiServer ----------------------------------------------------------
+
+LiteCgiServer::LiteCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+                             iolfs::FileIoService* io, iolite::IoLiteRuntime* runtime,
+                             size_t doc_bytes)
+    : HttpServer(ctx, net, io),
+      runtime_(runtime),
+      cgi_(ctx, runtime, doc_bytes),
+      channel_(std::make_shared<iolite::PipeChannel>(ctx)) {
+  server_domain_ = ctx_->vm().CreateDomain("flash-lite-cgi");
+  header_pool_ = runtime_->CreatePool("flash-lite-cgi-headers", server_domain_);
+}
+
+size_t LiteCgiServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId /*file*/) {
+  ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
+  conn->ReceiveRequest(kRequestBytes);
+
+  // CGI produces into the pipe by reference...
+  cgi_.ProduceResponse(channel_.get());
+  // ...the server IOL_reads the aggregate out: one syscall plus mapping of
+  // any cold chunks into the server domain (first request only).
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  iolite::Aggregate body = channel_->Pop(SIZE_MAX);
+  runtime_->MapAggregate(body, server_domain_);
+
+  char header[kResponseHeaderBytes];
+  size_t header_len = BuildHeader(header, body.size());
+  iolite::BufferRef hbuf = header_pool_->Allocate(header_len);
+  std::memcpy(hbuf->writable_data(), header, header_len);
+  ctx_->ChargeCpu(ctx_->cost().CopyCost(header_len));
+  ctx_->stats().bytes_copied += header_len;
+  ctx_->stats().copy_ops++;
+  hbuf->Seal(header_len);
+
+  iolite::Aggregate response = iolite::Aggregate::FromBuffer(std::move(hbuf));
+  response.Append(body);
+
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  return conn->SendAggregate(response);
+}
+
+}  // namespace iolhttp

@@ -1,0 +1,104 @@
+// FastCGI dynamic-content generation (Sections 3.10 and 5.3).
+//
+// The paper's test CGI program, on each request, sends a "dynamic" document
+// of a given size from its memory to the server over a UNIX pipe; the
+// server forwards it to the client.
+//
+//  * Copy path (Flash/Apache + CGI): the document crosses the pipe with a
+//    copy in and a copy out, then a third copy into the socket buffer —
+//    which is why their CGI bandwidth is roughly half their static
+//    bandwidth.
+//  * IO-Lite path (Flash-Lite + CGI): the CGI process keeps the document in
+//    buffers from its own ACL pool; the pipe transfer moves references, the
+//    server maps the chunks once, the checksum is cached after the first
+//    transmission — CGI approaches static-content speed without giving up
+//    fault isolation.
+
+#ifndef SRC_HTTPD_CGI_H_
+#define SRC_HTTPD_CGI_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/httpd/http_server.h"
+#include "src/iolite/pipe.h"
+#include "src/posix/posix_io.h"
+
+namespace iolhttp {
+
+// A FastCGI process using copy-based pipes (conventional UNIX).
+class CopyCgiProcess {
+ public:
+  CopyCgiProcess(iolsim::SimContext* ctx, size_t doc_bytes);
+
+  // Handles one FastCGI request: writes the document into the pipe.
+  void ProduceResponse(iolposix::PosixPipe* pipe);
+
+  size_t doc_bytes() const { return doc_.size(); }
+
+ private:
+  iolsim::SimContext* ctx_;
+  std::vector<char> doc_;
+};
+
+// A FastCGI process using the IO-Lite API: the cached document lives in
+// buffers from the CGI process's own pool (separate ACL, Section 3.10).
+class LiteCgiProcess {
+ public:
+  LiteCgiProcess(iolsim::SimContext* ctx, iolite::IoLiteRuntime* runtime, size_t doc_bytes);
+
+  // Handles one FastCGI request: pushes the (cached) document aggregate
+  // into the pipe channel by reference.
+  void ProduceResponse(iolite::PipeChannel* channel);
+
+  size_t doc_bytes() const { return doc_.size(); }
+  iolsim::DomainId domain() const { return domain_; }
+
+ private:
+  iolsim::SimContext* ctx_;
+  iolsim::DomainId domain_;
+  iolite::BufferPool* pool_;
+  iolite::Aggregate doc_;
+};
+
+// Flash (or Apache) serving FastCGI content over a copy-based pipe.
+class CopyCgiServer : public HttpServer {
+ public:
+  CopyCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net, iolfs::FileIoService* io,
+                size_t doc_bytes, bool apache_costs = false);
+
+  const char* name() const override { return apache_costs_ ? "Apache-CGI" : "Flash-CGI"; }
+  bool uses_iolite_sockets() const override { return false; }
+  uint64_t per_connection_memory() const override {
+    return apache_costs_ ? ctx_->cost().params().apache_process_bytes : 0;
+  }
+  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+
+ private:
+  bool apache_costs_;
+  CopyCgiProcess cgi_;
+  iolposix::PosixPipe pipe_;
+  std::vector<char> server_buf_;
+};
+
+// Flash-Lite serving FastCGI content over an IO-Lite pipe.
+class LiteCgiServer : public HttpServer {
+ public:
+  LiteCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net, iolfs::FileIoService* io,
+                iolite::IoLiteRuntime* runtime, size_t doc_bytes);
+
+  const char* name() const override { return "Flash-Lite-CGI"; }
+  bool uses_iolite_sockets() const override { return true; }
+  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+
+ private:
+  iolite::IoLiteRuntime* runtime_;
+  iolsim::DomainId server_domain_;
+  iolite::BufferPool* header_pool_;
+  LiteCgiProcess cgi_;
+  std::shared_ptr<iolite::PipeChannel> channel_;
+};
+
+}  // namespace iolhttp
+
+#endif  // SRC_HTTPD_CGI_H_

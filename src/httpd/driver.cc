@@ -1,0 +1,149 @@
+#include "src/httpd/driver.h"
+
+namespace iolhttp {
+
+uint64_t ClosedLoopDriver::CacheBudget() const {
+  // The file cache may use whatever physical memory is left after the
+  // kernel, server processes and socket send buffers. The IO-Lite window
+  // reservation is excluded from "used": the cache's own data lives there,
+  // so counting it would shrink the budget by the cache's own size.
+  uint64_t non_window =
+      ctx_->memory().used() - ctx_->memory().reservation("iolite_window");
+  uint64_t total = ctx_->memory().total();
+  return total > non_window ? total - non_window : 0;
+}
+
+DriverResult ClosedLoopDriver::Run(RequestSource next_file) {
+  clients_.resize(config_.num_clients);
+
+  int effective_concurrent = config_.num_clients;
+  if (config_.max_concurrent > 0 && config_.max_concurrent < effective_concurrent) {
+    effective_concurrent = config_.max_concurrent;
+  }
+
+  // Steady-state memory pinned by the client population.
+  if (config_.persistent_connections) {
+    // Connections stay open for the whole run; their own reservations (made
+    // by Connect below) cover the socket buffers. Server processes:
+    ctx_->memory().Set("server_processes",
+                       static_cast<uint64_t>(effective_concurrent) *
+                           server_->per_connection_memory());
+  } else {
+    uint64_t per_conn =
+        server_->uses_iolite_sockets()
+            ? 2048
+            : static_cast<uint64_t>(ctx_->cost().params().socket_send_buffer_bytes *
+                                    ctx_->cost().params().send_buffer_utilization);
+    ctx_->memory().Set("connections_steady",
+                       static_cast<uint64_t>(config_.num_clients) * per_conn +
+                           static_cast<uint64_t>(effective_concurrent) *
+                               server_->per_connection_memory());
+  }
+
+  for (int i = 0; i < config_.num_clients; ++i) {
+    clients_[i].conn =
+        std::make_unique<iolnet::TcpConnection>(net_, server_->uses_iolite_sockets());
+    if (config_.persistent_connections) {
+      clients_[i].conn->Connect();  // One handshake for the whole run.
+    }
+  }
+
+  // Kick off all clients at t=0.
+  for (int i = 0; i < config_.num_clients; ++i) {
+    ctx_->events().ScheduleAt(0, [this, i, &next_file] { IssueRequest(i, next_file); });
+  }
+
+  while (!done_ && ctx_->events().RunOne()) {
+  }
+
+  for (Client& c : clients_) {
+    if (c.conn->connected()) {
+      c.conn->Close();
+    }
+  }
+  ctx_->memory().Set("server_processes", 0);
+  ctx_->memory().Set("connections_steady", 0);
+
+  DriverResult result;
+  result.requests = counted_requests_;
+  result.bytes = counted_bytes_;
+  result.seconds = iolsim::ToSeconds(ctx_->clock().now() - count_start_);
+  if (result.seconds > 0) {
+    result.megabits_per_sec = static_cast<double>(counted_bytes_) * 8.0 / 1e6 / result.seconds;
+  }
+  uint64_t lookups = ctx_->stats().cache_hits + ctx_->stats().cache_misses;
+  if (lookups > 0) {
+    result.cache_hit_rate =
+        static_cast<double>(ctx_->stats().cache_hits) / static_cast<double>(lookups);
+  }
+  return result;
+}
+
+void ClosedLoopDriver::IssueRequest(int client_index, RequestSource& next_file) {
+  if (done_) {
+    return;
+  }
+  Client& client = clients_[client_index];
+  iolfs::FileId file = next_file();
+
+  // Execute the request's data path under a tally: CPU and disk demand
+  // accumulate instead of advancing the clock.
+  iolsim::Tally tally;
+  size_t bytes = 0;
+  {
+    iolsim::TallyScope scope(ctx_, &tally);
+    if (!config_.persistent_connections) {
+      client.conn->Connect();
+    }
+    bytes = server_->HandleRequest(client.conn.get(), file);
+    if (!config_.persistent_connections) {
+      client.conn->Close();
+    }
+  }
+
+  if (config_.enforce_cache_budget) {
+    cache_->EnforceBudget(CacheBudget());
+  }
+
+  // Pipeline the demands: disk first (cache miss I/O), then the server CPU,
+  // then the wire. Each stage is a FIFO resource shared by all requests.
+  iolsim::SimTime arrive = ctx_->clock().now() + config_.delay.one_way_delay;
+  iolsim::SimTime after_disk =
+      tally.disk > 0 ? disk_.AcquireAfter(arrive, tally.disk) : arrive;
+  iolsim::SimTime after_cpu = cpu_.AcquireAfter(after_disk, tally.cpu);
+  iolsim::SimTime after_wire = link_.AcquireAfter(after_cpu, ctx_->cost().WireTime(bytes));
+
+  // Response propagation, plus one handshake round trip for nonpersistent
+  // connections.
+  iolsim::SimTime respond = after_wire + config_.delay.one_way_delay;
+  if (!config_.persistent_connections) {
+    respond += config_.delay.RoundTrip();
+  }
+
+  ctx_->events().ScheduleAt(
+      respond, [this, client_index, bytes, &next_file] {
+        OnComplete(client_index, bytes, next_file);
+      });
+}
+
+void ClosedLoopDriver::OnComplete(int client_index, size_t bytes, RequestSource& next_file) {
+  if (done_) {
+    return;
+  }
+  ++completed_;
+  if (completed_ <= config_.warmup_requests) {
+    if (completed_ == config_.warmup_requests) {
+      count_start_ = ctx_->clock().now();
+    }
+  } else {
+    ++counted_requests_;
+    counted_bytes_ += bytes;
+    if (counted_requests_ >= config_.max_requests) {
+      done_ = true;
+      return;
+    }
+  }
+  IssueRequest(client_index, next_file);
+}
+
+}  // namespace iolhttp

@@ -1,0 +1,94 @@
+// Closed-loop client population driving a server model (Section 5.1's
+// methodology: "a client issues a new request as soon as a response is
+// received for the previous request").
+//
+// Each request's data path is executed under a cost tally, then its CPU and
+// disk demands are scheduled onto FIFO resources (single server CPU, single
+// disk) and its payload onto the shared NIC-array link; the completion event
+// triggers the client's next request. Optional delay routers add WAN
+// round-trip time (Section 5.7).
+
+#ifndef SRC_HTTPD_DRIVER_H_
+#define SRC_HTTPD_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/httpd/http_server.h"
+#include "src/net/tcp.h"
+#include "src/simos/event_queue.h"
+#include "src/simos/sim_context.h"
+
+namespace iolhttp {
+
+struct DriverConfig {
+  int num_clients = 40;
+  bool persistent_connections = false;
+  // Stop after this many counted (post-warmup) request completions.
+  uint64_t max_requests = 20000;
+  // Completions ignored at the start (cold caches, cold mappings).
+  uint64_t warmup_requests = 0;
+  iolnet::DelayRouter delay;
+  // Cap on concurrently served connections (Apache process model); 0 = off.
+  int max_concurrent = 0;
+  // Enforce the file-cache byte budget from the memory model after each
+  // request (trace experiments). Off for single-file tests.
+  bool enforce_cache_budget = false;
+};
+
+struct DriverResult {
+  uint64_t requests = 0;
+  uint64_t bytes = 0;
+  double seconds = 0;
+  double megabits_per_sec = 0;
+  double cache_hit_rate = 0;
+};
+
+class ClosedLoopDriver {
+ public:
+  // Returns the file to request next (shared across clients).
+  using RequestSource = std::function<iolfs::FileId()>;
+
+  ClosedLoopDriver(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+                   iolfs::FileCache* cache, HttpServer* server, DriverConfig config)
+      : ctx_(ctx),
+        net_(net),
+        cache_(cache),
+        server_(server),
+        config_(config),
+        cpu_(&ctx->clock()),
+        disk_(&ctx->clock()),
+        link_(&ctx->clock()) {}
+
+  DriverResult Run(RequestSource next_file);
+
+ private:
+  struct Client {
+    std::unique_ptr<iolnet::TcpConnection> conn;
+  };
+
+  void IssueRequest(int client_index, RequestSource& next_file);
+  void OnComplete(int client_index, size_t bytes, RequestSource& next_file);
+  uint64_t CacheBudget() const;
+
+  iolsim::SimContext* ctx_;
+  iolnet::NetworkSubsystem* net_;
+  iolfs::FileCache* cache_;
+  HttpServer* server_;
+  DriverConfig config_;
+  iolsim::Resource cpu_;
+  iolsim::Resource disk_;
+  iolsim::Resource link_;
+  std::vector<Client> clients_;
+
+  uint64_t completed_ = 0;       // All completions, including warmup.
+  uint64_t counted_requests_ = 0;
+  uint64_t counted_bytes_ = 0;
+  iolsim::SimTime count_start_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace iolhttp
+
+#endif  // SRC_HTTPD_DRIVER_H_

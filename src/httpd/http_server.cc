@@ -1,0 +1,113 @@
+#include "src/httpd/http_server.h"
+
+#include <cstring>
+
+namespace iolhttp {
+
+size_t FlashServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) {
+  ctx_->ChargeCpu(RequestCpu());
+  conn->ReceiveRequest(kRequestBytes);
+
+  uint64_t size = io_->fs().SizeOf(file);
+  // mmap semantics: file data is accessed in place from the (unified)
+  // cache; no copy into user space. On a miss the data comes from disk and
+  // the freshly faulted pages must be mapped.
+  bool miss = false;
+  iolite::Aggregate body = io_->ReadExtent(file, 0, size, &miss);
+  if (miss) {
+    ctx_->ChargeCpu(ctx_->cost().PageMapCost(ctx_->cost().PagesFor(size)));
+    ctx_->stats().pages_mapped += ctx_->cost().PagesFor(size);
+  }
+
+  char header[kResponseHeaderBytes];
+  size_t header_len = BuildHeader(header, size);
+
+  // writev(2): gathers header + mapped file into the socket send buffer.
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  return conn->SendGatheredCopy(header, header_len, body);
+}
+
+size_t SendfileServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) {
+  ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
+  conn->ReceiveRequest(kRequestBytes);
+
+  uint64_t size = io_->fs().SizeOf(file);
+  // One sendfile(2) call: file -> socket entirely inside the kernel.
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  iolite::Aggregate body = io_->ReadExtent(file, 0, size);
+
+  // The in-transit pages must be protected against modification (the
+  // "copy-on-write / exclusive locks" of Section 6.7): one protection
+  // operation per chunk per transmission.
+  int chunks = 0;
+  for (const iolite::Slice& s : body.slices()) {
+    chunks += static_cast<int>(s.buffer()->chunks().size());
+  }
+  ctx_->ChargeCpu(ctx_->cost().PageProtectCost(1) * chunks * 2);  // Lock + unlock.
+
+  char header[kResponseHeaderBytes];
+  size_t header_len = BuildHeader(header, size);
+  iolite::Aggregate response;
+  // The header is prepended in kernel mbufs; the body moves by reference —
+  // but its checksum cannot be cached: sendfile has no generation numbers,
+  // so the TCP layer must assume the file may have changed.
+  bool cache_was_enabled = net_->checksum().cache_enabled();
+  net_->checksum().set_cache_enabled(false);
+  // Header bytes travel as an inline mbuf: copied (tiny) and checksummed.
+  ctx_->ChargeCpu(ctx_->cost().CopyCost(header_len));
+  ctx_->stats().bytes_copied += header_len;
+  ctx_->stats().copy_ops++;
+  size_t sent = header_len + conn->SendAggregate(body);
+  ctx_->ChargeCpu(ctx_->cost().ChecksumCost(header_len));
+  net_->checksum().set_cache_enabled(cache_was_enabled);
+  return sent;
+}
+
+FlashLiteServer::FlashLiteServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+                                 iolfs::FileIoService* io, iolite::IoLiteRuntime* runtime)
+    : HttpServer(ctx, net, io), runtime_(runtime) {
+  domain_ = ctx_->vm().CreateDomain("flash-lite");
+  // Headers and other server-generated data come from the server's own
+  // pool (its ACL is the server process; Section 3.10).
+  header_pool_ = runtime_->CreatePool("flash-lite-headers", domain_);
+}
+
+size_t FlashLiteServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) {
+  ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
+  conn->ReceiveRequest(kRequestBytes);
+
+  uint64_t size = io_->fs().SizeOf(file);
+  // IOL_read: an aggregate referencing the cache's immutable buffers; the
+  // buffers' chunks are mapped into the server domain (cold chunks only —
+  // mappings persist, so a popular document costs nothing here).
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  iolite::Aggregate body = io_->ReadExtent(file, 0, size);
+  runtime_->MapAggregate(body, domain_);
+
+  // Response header: allocated from IO-Lite space instead of malloc
+  // (Section 5: "allocating memory for response headers ... is handled
+  // with memory allocation from IO-Lite space").
+  char header[kResponseHeaderBytes];
+  size_t header_len = BuildHeader(header, size);
+  iolite::BufferRef hbuf = header_pool_->Allocate(header_len);
+  std::memcpy(hbuf->writable_data(), header, header_len);
+  ctx_->ChargeCpu(ctx_->cost().CopyCost(header_len));
+  ctx_->stats().bytes_copied += header_len;
+  ctx_->stats().copy_ops++;
+  hbuf->Seal(header_len);
+
+  iolite::Aggregate response = iolite::Aggregate::FromBuffer(std::move(hbuf));
+  response.Append(body);
+
+  // IOL_write: payload by reference; checksum of the body slices comes from
+  // the checksum cache when the document was transmitted before. The header
+  // buffer was just reallocated (new generation), so only it is summed.
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  return conn->SendAggregate(response);
+}
+
+}  // namespace iolhttp

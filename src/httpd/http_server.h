@@ -1,0 +1,150 @@
+// The Web server family of the evaluation (Section 5).
+//
+// Three data-path models over the simulated OS:
+//  * FlashServer — the paper's aggressively optimized event-driven server:
+//    mmap-based file access (no read copy; page-map cost on faults), user
+//    headers via malloc, writev gathering header+body into socket buffers
+//    (one copy + one checksum per transmission).
+//  * ApacheServer — same mmap/writev data path, but process-per-connection:
+//    higher per-request CPU and a resident process per concurrent
+//    connection (memory that shrinks the file cache).
+//  * FlashLiteServer — Flash ported to the IO-Lite API: IOL_read from the
+//    unified cache, header allocated from the server's IO-Lite pool,
+//    IOL_write by reference, checksum served from the generation-keyed
+//    cache for everything but the header.
+//
+// Servers charge CPU/disk costs through the SimContext; wire transmission
+// and queueing belong to the closed-loop driver.
+
+#ifndef SRC_HTTPD_HTTP_SERVER_H_
+#define SRC_HTTPD_HTTP_SERVER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/fs/file_io.h"
+#include "src/iolite/runtime.h"
+#include "src/net/tcp.h"
+#include "src/simos/sim_context.h"
+
+namespace iolhttp {
+
+// Typical HTTP/1.0 response header and request sizes.
+constexpr size_t kResponseHeaderBytes = 250;
+constexpr size_t kRequestBytes = 300;
+
+class HttpServer {
+ public:
+  HttpServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net, iolfs::FileIoService* io)
+      : ctx_(ctx), net_(net), io_(io) {}
+  virtual ~HttpServer() = default;
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // Whether connections to this server use the IO-Lite socket data path.
+  virtual bool uses_iolite_sockets() const = 0;
+
+  // Resident memory added per concurrent connection beyond socket buffers
+  // (Apache: a worker process).
+  virtual uint64_t per_connection_memory() const { return 0; }
+
+  // Serves one request for `file` on `conn`; returns response bytes
+  // (header + body). Charges all CPU/disk costs via the SimContext.
+  virtual size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) = 0;
+
+ protected:
+  // Builds a plausible response header into `buf` (real bytes, so checksums
+  // over it are real). Returns the header length (kResponseHeaderBytes).
+  size_t BuildHeader(char* buf, uint64_t content_length) const {
+    int n = std::snprintf(buf, kResponseHeaderBytes,
+                          "HTTP/1.0 200 OK\r\n"
+                          "Server: iolite-sim/1.0\r\n"
+                          "Content-Type: text/html\r\n"
+                          "Content-Length: %llu\r\n",
+                          static_cast<unsigned long long>(content_length));
+    // Pad to the nominal header size with a comment header.
+    for (size_t i = n; i < kResponseHeaderBytes - 2; ++i) {
+      buf[i] = 'x';
+    }
+    buf[kResponseHeaderBytes - 2] = '\r';
+    buf[kResponseHeaderBytes - 1] = '\n';
+    return kResponseHeaderBytes;
+  }
+
+  iolsim::SimContext* ctx_;
+  iolnet::NetworkSubsystem* net_;
+  iolfs::FileIoService* io_;
+};
+
+// Flash: mmap + writev (Section 5, "Flash uses memory-mapped files to read
+// disk data").
+class FlashServer : public HttpServer {
+ public:
+  using HttpServer::HttpServer;
+
+  const char* name() const override { return "Flash"; }
+  bool uses_iolite_sockets() const override { return false; }
+  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+
+ protected:
+  // Per-request CPU beyond the data path (event loop, parse, headers).
+  virtual iolsim::SimTime RequestCpu() const { return ctx_->cost().params().flash_request_cpu; }
+};
+
+// Apache 1.3.1 model: Flash's data path, process-per-connection overheads.
+class ApacheServer : public FlashServer {
+ public:
+  using FlashServer::FlashServer;
+
+  const char* name() const override { return "Apache"; }
+  uint64_t per_connection_memory() const override {
+    return ctx_->cost().params().apache_process_bytes;
+  }
+
+ protected:
+  iolsim::SimTime RequestCpu() const override {
+    return ctx_->cost().params().apache_request_cpu;
+  }
+};
+
+// sendfile(2)-style monolithic-syscall baseline (Section 6.7): the kernel
+// transmits file-cache data to the socket with no user-level copy, in one
+// system call. Copy-free like IO-Lite on the static path, but (a) the
+// checksum must be recomputed on every transmission — there is no
+// system-wide content identity to key a checksum cache on — and (b) an
+// internal mechanism (here modelled as a per-chunk lock toggle) must keep
+// applications from modifying in-transit file data. No help for CGI.
+class SendfileServer : public HttpServer {
+ public:
+  using HttpServer::HttpServer;
+
+  const char* name() const override { return "Flash-sendfile"; }
+  bool uses_iolite_sockets() const override { return true; }  // No Tss copy buffer.
+  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+};
+
+// Flash-Lite: the IO-Lite API data path.
+class FlashLiteServer : public HttpServer {
+ public:
+  FlashLiteServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+                  iolfs::FileIoService* io, iolite::IoLiteRuntime* runtime);
+
+  const char* name() const override { return "Flash-Lite"; }
+  bool uses_iolite_sockets() const override { return true; }
+  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+
+  iolsim::DomainId domain() const { return domain_; }
+
+ private:
+  iolite::IoLiteRuntime* runtime_;
+  iolsim::DomainId domain_;
+  iolite::BufferPool* header_pool_;
+};
+
+}  // namespace iolhttp
+
+#endif  // SRC_HTTPD_HTTP_SERVER_H_

@@ -1,0 +1,36 @@
+// Paper-flavoured convenience entry points (Figure 2).
+//
+// The object-oriented surface lives in IoLiteRuntime; these free functions
+// mirror the names used in the paper so examples read like its code
+// fragments:
+//
+//   size_t IOL_read(IOL_FD fd, IOL_Agg **aggregate, size_t size);
+//   size_t IOL_write(IOL_FD fd, IOL_Agg *aggregate);
+
+#ifndef SRC_IOLITE_API_H_
+#define SRC_IOLITE_API_H_
+
+#include "src/iolite/runtime.h"
+
+namespace iolite {
+
+using IOL_FD = Fd;
+using IOL_Agg = Aggregate;
+
+// Reads at most `size` bytes from `fd` into a fresh aggregate. Returns the
+// number of bytes read (0 at end of stream). IOL_read may always return
+// fewer bytes than requested.
+inline size_t IOL_read(IoLiteRuntime* rt, IOL_FD fd, IOL_Agg* aggregate, size_t size) {
+  *aggregate = rt->IolRead(fd, size);
+  return aggregate->size();
+}
+
+// Replaces the data of the object bound to `fd` with the aggregate's
+// contents. Returns bytes written.
+inline size_t IOL_write(IoLiteRuntime* rt, IOL_FD fd, const IOL_Agg& aggregate) {
+  return rt->IolWrite(fd, aggregate);
+}
+
+}  // namespace iolite
+
+#endif  // SRC_IOLITE_API_H_

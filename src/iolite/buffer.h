@@ -1,0 +1,158 @@
+// Immutable IO-Lite buffers (Section 3.1).
+//
+// A Buffer is allocated with an initial content that may not subsequently be
+// modified; all sharing is therefore read-only. Buffers are refcounted
+// system-wide so unused buffers can be reclaimed safely, and each carries a
+// generation number that is incremented on reallocation: (buffer id,
+// generation) uniquely identifies buffer *contents* system-wide, which is
+// what enables cross-subsystem optimizations such as checksum caching
+// (Section 3.9).
+//
+// Lifecycle: a buffer is carved out of a pool extent in the *filling* state,
+// the producer writes its content exactly once, then Seal() freezes it. Only
+// sealed buffers may appear in aggregates that cross protection domains.
+
+#ifndef SRC_IOLITE_BUFFER_H_
+#define SRC_IOLITE_BUFFER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/simos/vm.h"
+
+namespace iolite {
+
+class BufferPool;
+
+class Buffer {
+ public:
+  // Buffers are created only by BufferPool.
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  // Stable identity. The id plays the role of the buffer's address in the
+  // IO-Lite window; together with the generation it names the contents.
+  uint64_t id() const { return id_; }
+  uint32_t generation() const { return generation_; }
+
+  // Capacity carved from the pool; size() is the number of bytes the
+  // producer actually filled (fixed at Seal time).
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+
+  bool sealed() const { return sealed_; }
+
+  // Read access to the immutable contents. Valid only once sealed.
+  const char* data() const {
+    assert(sealed_ && "reading an unsealed buffer");
+    return data_;
+  }
+
+  // Write access during the fill phase. Asserts immutability afterwards.
+  char* writable_data() {
+    assert(!sealed_ && "IO-Lite buffers are immutable once sealed");
+    return data_;
+  }
+
+  // Freezes the first `filled` bytes as the buffer's immutable content and
+  // revokes the producer's write permission (unless the producer is the
+  // trusted kernel, Section 3.2).
+  void Seal(size_t filled);
+
+  // The VM chunks this buffer's storage spans (for mapping operations).
+  const std::vector<iolsim::ChunkId>& chunks() const;
+
+  BufferPool* pool() const { return pool_; }
+  iolsim::DomainId producer() const { return producer_; }
+
+  // Intrusive reference counting. Release() returning the buffer to its
+  // pool's free list is what makes warm-path transfers allocation-free.
+  void AddRef() { ++refcount_; }
+  void Release();
+  int refcount() const { return refcount_; }
+
+ private:
+  friend class BufferPool;
+
+  Buffer(BufferPool* pool, uint64_t id, char* data, size_t capacity, size_t extent_index,
+         iolsim::DomainId producer)
+      : pool_(pool),
+        id_(id),
+        data_(data),
+        capacity_(capacity),
+        extent_index_(extent_index),
+        producer_(producer) {}
+
+  // Pool-side reuse: bumps the generation, returns to the filling state.
+  void ResetForReuse(iolsim::DomainId producer) {
+    ++generation_;
+    sealed_ = false;
+    size_ = 0;
+    producer_ = producer;
+  }
+
+  BufferPool* pool_;
+  uint64_t id_;
+  char* data_;
+  size_t capacity_;
+  size_t extent_index_;
+  iolsim::DomainId producer_;
+  uint32_t generation_ = 1;
+  size_t size_ = 0;
+  bool sealed_ = false;
+  int refcount_ = 0;
+};
+
+// Smart pointer managing Buffer refcounts.
+class BufferRef {
+ public:
+  BufferRef() = default;
+  explicit BufferRef(Buffer* b) : b_(b) {
+    if (b_ != nullptr) {
+      b_->AddRef();
+    }
+  }
+  BufferRef(const BufferRef& other) : BufferRef(other.b_) {}
+  BufferRef(BufferRef&& other) noexcept : b_(other.b_) { other.b_ = nullptr; }
+  BufferRef& operator=(const BufferRef& other) {
+    if (this != &other) {
+      Reset();
+      b_ = other.b_;
+      if (b_ != nullptr) {
+        b_->AddRef();
+      }
+    }
+    return *this;
+  }
+  BufferRef& operator=(BufferRef&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      b_ = other.b_;
+      other.b_ = nullptr;
+    }
+    return *this;
+  }
+  ~BufferRef() { Reset(); }
+
+  void Reset() {
+    if (b_ != nullptr) {
+      b_->Release();
+      b_ = nullptr;
+    }
+  }
+
+  Buffer* get() const { return b_; }
+  Buffer* operator->() const { return b_; }
+  Buffer& operator*() const { return *b_; }
+  explicit operator bool() const { return b_ != nullptr; }
+  bool operator==(const BufferRef& other) const { return b_ == other.b_; }
+
+ private:
+  Buffer* b_ = nullptr;
+};
+
+}  // namespace iolite
+
+#endif  // SRC_IOLITE_BUFFER_H_

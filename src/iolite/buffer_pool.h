@@ -1,0 +1,107 @@
+// ACL-scoped buffer pools (Sections 3.3 and 4.5).
+//
+// IO-Lite maintains cached pools of buffers with a common access control
+// list. The pool a buffer is allocated from determines which protection
+// domains may see its data, so programs determine the ACL *before* storing
+// data in memory (trivial everywhere except early demultiplexing of network
+// input, handled in src/net).
+//
+// Storage is carved out of *extents* — runs of one or more 64 KB chunks —
+// so objects smaller than a page share pages, and no memory is wasted on
+// small allocations. Deallocated buffers go on a per-pool free list; reusing
+// one bumps its generation and requires no VM work beyond re-enabling write
+// permission for an untrusted producer. This is the "lazily established pool
+// of read-only shared memory pages" of Section 3.2.
+
+#ifndef SRC_IOLITE_BUFFER_POOL_H_
+#define SRC_IOLITE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/iolite/buffer.h"
+#include "src/simos/sim_context.h"
+
+namespace iolite {
+
+class BufferPool {
+ public:
+  // `producer` is the domain that fills buffers allocated here; the kernel
+  // (domain 0) is trusted and skips write-permission toggling.
+  BufferPool(iolsim::SimContext* ctx, std::string name, iolsim::DomainId producer);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  const std::string& name() const { return name_; }
+  iolsim::DomainId producer() const { return producer_; }
+
+  // Allocates a buffer with capacity >= `n` in the filling state. Prefers a
+  // recycled buffer (cheap); otherwise carves new storage and charges the
+  // producer's mapping costs. The returned ref is the caller's.
+  BufferRef Allocate(size_t n);
+
+  // Convenience: allocate, fill from `src` (charging copy cost), seal.
+  BufferRef AllocateFrom(const void* src, size_t n);
+
+  // Convenience: allocate, fill with a deterministic pattern *without*
+  // charging CPU (models DMA from a device), seal.
+  BufferRef AllocateDma(uint64_t pattern_seed, size_t n);
+
+  // The set of chunks backing `buffer` (extent lookup for VM operations).
+  const std::vector<iolsim::ChunkId>& ChunksOf(const Buffer& buffer) const;
+
+  // Called by Buffer::Release when the last reference drops; the buffer
+  // returns to the free list for recycling.
+  void OnBufferUnreferenced(Buffer* buffer);
+
+  // Called by Buffer::Seal to revoke an untrusted producer's write access.
+  void OnBufferSealed(Buffer* buffer);
+
+  // --- Introspection ------------------------------------------------------
+
+  // Bytes of storage held by this pool (live + recyclable).
+  uint64_t bytes_reserved() const { return bytes_reserved_; }
+  size_t free_list_size() const { return free_count_; }
+  size_t live_buffers() const { return live_buffers_; }
+
+ private:
+  struct Extent {
+    std::vector<iolsim::ChunkId> chunks;
+    std::unique_ptr<char[]> storage;
+    size_t size = 0;
+    size_t bump = 0;  // Next free offset for small carving.
+  };
+
+  // Creates a new extent spanning >= `n` bytes of whole chunks.
+  size_t NewExtent(size_t n);
+
+  // Carves a brand-new buffer of capacity `n`.
+  Buffer* CarveBuffer(size_t n);
+
+  void PrepareFill(Buffer* buffer);
+
+  iolsim::SimContext* ctx_;
+  std::string name_;
+  iolsim::DomainId producer_;
+
+  std::vector<Extent> extents_;
+  std::vector<std::unique_ptr<Buffer>> all_buffers_;
+  // Free buffers keyed by capacity (first-fit via lower_bound).
+  std::multimap<size_t, Buffer*> free_list_;
+  size_t free_count_ = 0;
+  size_t live_buffers_ = 0;
+  uint64_t bytes_reserved_ = 0;
+  uint64_t next_buffer_id_;
+
+  static uint64_t next_pool_seed_;
+};
+
+}  // namespace iolite
+
+#endif  // SRC_IOLITE_BUFFER_POOL_H_

@@ -1,0 +1,17 @@
+#include "src/iolite/pipe.h"
+
+#include "src/iolite/runtime.h"
+
+namespace iolite {
+
+PipeEnds MakePipe(IoLiteRuntime* runtime, iolsim::DomainId reader_domain,
+                  iolsim::DomainId writer_domain) {
+  auto channel = std::make_shared<PipeChannel>(runtime->ctx());
+  PipeEnds ends;
+  ends.channel = channel;
+  ends.read_fd = runtime->Open(std::make_shared<PipeReadStream>(channel), reader_domain);
+  ends.write_fd = runtime->Open(std::make_shared<PipeWriteStream>(channel), writer_domain);
+  return ends;
+}
+
+}  // namespace iolite

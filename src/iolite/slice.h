@@ -1,0 +1,54 @@
+// A slice is a <buffer, offset, length> tuple referring to a contiguous
+// subrange of one immutable IO-Lite buffer (Figure 1). Slices in the same
+// buffer may overlap; the slice holds a reference that keeps the buffer
+// alive.
+
+#ifndef SRC_IOLITE_SLICE_H_
+#define SRC_IOLITE_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+
+#include "src/iolite/buffer.h"
+
+namespace iolite {
+
+class Slice {
+ public:
+  Slice() = default;
+
+  Slice(BufferRef buffer, size_t offset, size_t length)
+      : buffer_(std::move(buffer)), offset_(offset), length_(length) {
+    assert(buffer_ && "slice over null buffer");
+    assert(offset_ + length_ <= buffer_->size() && "slice exceeds sealed contents");
+  }
+
+  const BufferRef& buffer() const { return buffer_; }
+  size_t offset() const { return offset_; }
+  size_t length() const { return length_; }
+  bool empty() const { return length_ == 0; }
+
+  // Pointer to the slice's first byte in the immutable buffer.
+  const char* data() const { return buffer_->data() + offset_; }
+
+  // A sub-slice of this slice; shares the same buffer reference.
+  Slice Sub(size_t rel_offset, size_t len) const {
+    assert(rel_offset + len <= length_);
+    return Slice(buffer_, offset_ + rel_offset, len);
+  }
+
+  // First `n` bytes.
+  Slice Prefix(size_t n) const { return Sub(0, n); }
+
+  // Everything after the first `n` bytes.
+  Slice Suffix(size_t n) const { return Sub(n, length_ - n); }
+
+ private:
+  BufferRef buffer_;
+  size_t offset_ = 0;
+  size_t length_ = 0;
+};
+
+}  // namespace iolite
+
+#endif  // SRC_IOLITE_SLICE_H_

@@ -1,0 +1,93 @@
+#include "src/net/checksum.h"
+
+namespace iolnet {
+
+uint32_t ChecksumAccumulate(const char* data, size_t n) {
+  const auto* p = reinterpret_cast<const uint8_t*>(data);
+  uint32_t sum = 0;
+  size_t i = 0;
+  // Big-endian 16-bit words, as on the wire.
+  for (; i + 1 < n; i += 2) {
+    sum += (static_cast<uint32_t>(p[i]) << 8) | p[i + 1];
+  }
+  if (i < n) {
+    sum += static_cast<uint32_t>(p[i]) << 8;  // Trailing odd byte, zero-padded.
+  }
+  return sum;
+}
+
+uint16_t ChecksumFold(uint32_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+uint32_t ChecksumSwap(uint32_t sum) {
+  // Fold to 16 bits first, then swap bytes: this is the standard trick for
+  // combining a partial sum that starts at an odd offset.
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return ((sum & 0xff) << 8) | (sum >> 8);
+}
+
+bool ChecksumCache::Lookup(const Key& key, uint32_t* sum) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.second);
+  *sum = it->second.first;
+  return true;
+}
+
+void ChecksumCache::Store(const Key& key, uint32_t sum) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.first = sum;
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  map_.emplace(key, std::make_pair(sum, lru_.begin()));
+}
+
+void ChecksumCache::Clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+uint16_t ChecksumModule::Checksum(const iolite::Aggregate& agg) {
+  uint32_t total = 0;
+  uint64_t position = 0;  // Byte offset within the message so far.
+  for (const iolite::Slice& s : agg.slices()) {
+    uint32_t partial = 0;
+    bool from_cache = false;
+    ChecksumCache::Key key{s.buffer()->id(), s.buffer()->generation(), s.offset(), s.length()};
+    if (cache_enabled_ && cache_.Lookup(key, &partial)) {
+      from_cache = true;
+      ctx_->stats().checksum_cache_hits++;
+    } else {
+      partial = ChecksumAccumulate(s.data(), s.length());
+      ctx_->ChargeCpu(ctx_->cost().ChecksumCost(s.length()));
+      ctx_->stats().bytes_checksummed += s.length();
+      ctx_->stats().checksum_ops++;
+      if (cache_enabled_) {
+        cache_.Store(key, partial);
+        ctx_->stats().checksum_cache_misses++;
+      }
+    }
+    (void)from_cache;
+    // Slices at odd message offsets contribute byte-swapped.
+    total += (position % 2 == 0) ? partial : ChecksumSwap(partial);
+    position += s.length();
+  }
+  return ChecksumFold(total);
+}
+
+}  // namespace iolnet

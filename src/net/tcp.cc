@@ -1,0 +1,153 @@
+#include "src/net/tcp.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace iolnet {
+
+TcpConnection::TcpConnection(NetworkSubsystem* net, bool iolite_sockets)
+    : net_(net), iolite_sockets_(iolite_sockets) {}
+
+TcpConnection::~TcpConnection() {
+  if (connected_) {
+    Close();
+  }
+}
+
+void TcpConnection::Connect() {
+  assert(!connected_);
+  iolsim::SimContext* ctx = net_->ctx_;
+  ctx->ChargeCpu(ctx->cost().TcpSetupCost());
+  ctx->stats().tcp_connections++;
+  if (!iolite_sockets_) {
+    // Copy-based sockets need real send-buffer memory sized to the
+    // bandwidth-delay product (Tss). IO-Lite send queues hold references.
+    ctx->memory().Reserve("socket_send_buffers",
+                          ctx->cost().params().socket_send_buffer_bytes);
+  } else {
+    // Mbuf headers only ("a small amount of memory is required to hold
+    // mbuf structures", Section 5.7).
+    ctx->memory().Reserve("socket_send_buffers", 2048);
+  }
+  net_->open_connections_++;
+  connected_ = true;
+}
+
+void TcpConnection::Close() {
+  assert(connected_);
+  iolsim::SimContext* ctx = net_->ctx_;
+  if (!iolite_sockets_) {
+    ctx->memory().Release("socket_send_buffers",
+                          ctx->cost().params().socket_send_buffer_bytes);
+  } else {
+    ctx->memory().Release("socket_send_buffers", 2048);
+  }
+  net_->open_connections_--;
+  connected_ = false;
+}
+
+void TcpConnection::ReceiveRequest(size_t n) {
+  iolsim::SimContext* ctx = net_->ctx_;
+  // Early demultiplexing: the packet filter classifies the packet to an
+  // I/O stream (and hence an ACL) before it is stored (Section 3.6).
+  ctx->ChargeCpu(ctx->cost().PacketProcessingCost(n));
+  ctx->stats().packets_sent++;  // Request packets also traverse the stack.
+}
+
+void TcpConnection::ChargePackets(size_t n) {
+  iolsim::SimContext* ctx = net_->ctx_;
+  ctx->ChargeCpu(ctx->cost().PacketProcessingCost(n));
+  uint64_t packets =
+      (n + ctx->cost().params().mtu_bytes - 1) / ctx->cost().params().mtu_bytes;
+  ctx->stats().packets_sent += packets == 0 ? 1 : packets;
+}
+
+size_t TcpConnection::SendCopy(const iolite::Aggregate& src) {
+  assert(connected_);
+  iolsim::SimContext* ctx = net_->ctx_;
+  size_t n = src.size();
+  if (scratch_size_ < n) {
+    scratch_ = std::make_unique<char[]>(n);
+    scratch_size_ = n;
+  }
+  // Copy into kernel send-buffer clusters...
+  src.CopyTo(scratch_.get());
+  ctx->ChargeCpu(ctx->cost().CopyCost(n));
+  ctx->stats().bytes_copied += n;
+  ctx->stats().copy_ops++;
+  // ...and checksum the private copy. Its contents have no system-wide
+  // identity, so the checksum cache cannot apply.
+  ChecksumAccumulate(scratch_.get(), n);
+  ctx->ChargeCpu(ctx->cost().ChecksumCost(n));
+  ctx->stats().bytes_checksummed += n;
+  ctx->stats().checksum_ops++;
+  ChargePackets(n);
+  bytes_sent_ += n;
+  ctx->stats().bytes_sent += n;
+  return n;
+}
+
+size_t TcpConnection::SendGatheredCopy(const char* header, size_t header_len,
+                                       const iolite::Aggregate& body) {
+  assert(connected_);
+  iolsim::SimContext* ctx = net_->ctx_;
+  size_t n = header_len + body.size();
+  if (scratch_size_ < n) {
+    scratch_ = std::make_unique<char[]>(n);
+    scratch_size_ = n;
+  }
+  std::memcpy(scratch_.get(), header, header_len);
+  body.CopyTo(scratch_.get() + header_len);
+  ctx->ChargeCpu(ctx->cost().CopyCost(n));
+  ctx->stats().bytes_copied += n;
+  ctx->stats().copy_ops++;
+  ChecksumAccumulate(scratch_.get(), n);
+  ctx->ChargeCpu(ctx->cost().ChecksumCost(n));
+  ctx->stats().bytes_checksummed += n;
+  ctx->stats().checksum_ops++;
+  ChargePackets(n);
+  bytes_sent_ += n;
+  ctx->stats().bytes_sent += n;
+  return n;
+}
+
+size_t TcpConnection::SendPrivateCopy(const char* a, size_t na, const char* b, size_t nb) {
+  assert(connected_);
+  iolsim::SimContext* ctx = net_->ctx_;
+  size_t n = na + nb;
+  if (scratch_size_ < n) {
+    scratch_ = std::make_unique<char[]>(n);
+    scratch_size_ = n;
+  }
+  std::memcpy(scratch_.get(), a, na);
+  std::memcpy(scratch_.get() + na, b, nb);
+  ctx->ChargeCpu(ctx->cost().CopyCost(n));
+  ctx->stats().bytes_copied += n;
+  ctx->stats().copy_ops++;
+  ChecksumAccumulate(scratch_.get(), n);
+  ctx->ChargeCpu(ctx->cost().ChecksumCost(n));
+  ctx->stats().bytes_checksummed += n;
+  ctx->stats().checksum_ops++;
+  ChargePackets(n);
+  bytes_sent_ += n;
+  ctx->stats().bytes_sent += n;
+  return n;
+}
+
+size_t TcpConnection::SendAggregate(const iolite::Aggregate& agg) {
+  assert(connected_);
+  iolsim::SimContext* ctx = net_->ctx_;
+  size_t n = agg.size();
+  // Encapsulate by reference: one external mbuf per slice, no data touch.
+  MbufChain chain = MbufChain::FromAggregate(agg);
+  assert(chain.length() == n);
+  // Checksum via the module: cached per-slice sums apply when the same
+  // immutable buffer contents are transmitted repeatedly.
+  net_->checksum_.Checksum(agg);
+  ChargePackets(n);
+  bytes_sent_ += n;
+  ctx->stats().bytes_sent += n;
+  return n;
+}
+
+}  // namespace iolnet

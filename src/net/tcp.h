@@ -1,0 +1,122 @@
+// TCP connection model (Sections 5.1, 5.2, 5.7).
+//
+// Models the CPU-side costs of the send path plus the memory footprint of
+// socket send buffers — the two things the paper's experiments vary:
+//
+//  * Copy-based sockets (POSIX write/writev): data is copied into kernel
+//    send-buffer mbuf clusters (per-byte copy cost), checksummed on every
+//    transmission, and the connection pins Tss bytes of send-buffer memory
+//    while open — memory that comes straight out of the file cache.
+//  * IO-Lite sockets (IOL_write): payload moves by reference into
+//    mbuf-encapsulated IO-Lite buffers; the checksum module may serve the
+//    checksum from its generation-keyed cache; no send-buffer memory is
+//    pinned beyond mbuf headers.
+//
+// Wire time and queueing on the shared NIC array are handled by the
+// benchmark driver (the network is a resource, not a CPU cost).
+
+#ifndef SRC_NET_TCP_H_
+#define SRC_NET_TCP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/iolite/aggregate.h"
+#include "src/net/checksum.h"
+#include "src/net/mbuf.h"
+#include "src/simos/sim_context.h"
+
+namespace iolnet {
+
+// Shared state of the simulated network stack.
+class NetworkSubsystem {
+ public:
+  NetworkSubsystem(iolsim::SimContext* ctx, bool checksum_cache_enabled)
+      : ctx_(ctx), checksum_(ctx, checksum_cache_enabled) {}
+
+  NetworkSubsystem(const NetworkSubsystem&) = delete;
+  NetworkSubsystem& operator=(const NetworkSubsystem&) = delete;
+
+  iolsim::SimContext* ctx() const { return ctx_; }
+  ChecksumModule& checksum() { return checksum_; }
+
+  int open_connections() const { return open_connections_; }
+
+  // Memory currently pinned by socket send buffers (copy-based sockets).
+  uint64_t send_buffer_bytes() const {
+    return ctx_->memory().reservation("socket_send_buffers");
+  }
+
+ private:
+  friend class TcpConnection;
+  iolsim::SimContext* ctx_;
+  ChecksumModule checksum_;
+  int open_connections_ = 0;
+};
+
+class TcpConnection {
+ public:
+  // `iolite_sockets` selects the IO-Lite data path for this connection.
+  TcpConnection(NetworkSubsystem* net, bool iolite_sockets);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Connection establishment: SYN handshake + PCB setup costs; copy-based
+  // connections reserve the Tss send buffer.
+  void Connect();
+
+  // Termination; releases the send buffer reservation.
+  void Close();
+
+  bool connected() const { return connected_; }
+
+  // Receive path for a client request of `n` bytes: early-demultiplexed by
+  // the packet filter, one small copy to the application for the copy
+  // path is charged by the HTTP layer, not here.
+  void ReceiveRequest(size_t n);
+
+  // POSIX-style send: copies `src` into the kernel send buffer, checksums
+  // every byte, charges per-packet processing. Returns bytes queued.
+  size_t SendCopy(const iolite::Aggregate& src);
+
+  // writev(2)-style gathered copy send: response header from private
+  // memory plus body (e.g. an mmap'd file window or cache data), copied and
+  // checksummed as one unit.
+  size_t SendGatheredCopy(const char* header, size_t header_len, const iolite::Aggregate& body);
+
+  // writev(2)-style gathered copy send with both iovecs in private memory
+  // (e.g. header + a CGI response buffer).
+  size_t SendPrivateCopy(const char* a, size_t na, const char* b, size_t nb);
+
+  // IO-Lite send: payload by reference, checksum possibly served from the
+  // generation-keyed cache, per-packet processing. Returns bytes queued.
+  size_t SendAggregate(const iolite::Aggregate& agg);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void ChargePackets(size_t n);
+
+  NetworkSubsystem* net_;
+  bool iolite_sockets_;
+  bool connected_ = false;
+  uint64_t bytes_sent_ = 0;
+  // Scratch kernel send buffer for the copy path (reused across sends).
+  std::unique_ptr<char[]> scratch_;
+  size_t scratch_size_ = 0;
+};
+
+// Adds symmetric one-way delay between clients and server (Section 5.7's
+// "delay routers"). Pure latency: used by the closed-loop driver to compute
+// response completion times.
+struct DelayRouter {
+  iolsim::SimTime one_way_delay = 0;
+  iolsim::SimTime RoundTrip() const { return 2 * one_way_delay; }
+};
+
+}  // namespace iolnet
+
+#endif  // SRC_NET_TCP_H_

@@ -1,0 +1,118 @@
+// Baseline POSIX-semantics I/O (Section 6.1) and mmap emulation (Sections
+// 3.8 and 6.2), implemented on top of the unified cache exactly as the
+// prototype implements backward compatibility (Section 4.2): "the original
+// UNIX read and write system calls ... a data copy operation is used to
+// move data between application buffers and IO-Lite buffers."
+//
+// This is both the backward-compatibility layer of IO-Lite and the baseline
+// data path that Flash and Apache use in the evaluation.
+
+#ifndef SRC_POSIX_POSIX_IO_H_
+#define SRC_POSIX_POSIX_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/fs/file_io.h"
+#include "src/simos/sim_context.h"
+
+namespace iolposix {
+
+class PosixIo {
+ public:
+  // `pool` receives the copies made on the write path (normally the kernel
+  // pool — the kernel performs the copy on behalf of the application).
+  PosixIo(iolsim::SimContext* ctx, iolfs::FileIoService* io, iolite::BufferPool* pool)
+      : ctx_(ctx), io_(io), pool_(pool) {}
+
+  PosixIo(const PosixIo&) = delete;
+  PosixIo& operator=(const PosixIo&) = delete;
+
+  // pread: reads up to `n` bytes at `offset` into the caller's private
+  // buffer. Copy semantics: one syscall + one copy out of the file cache.
+  size_t Read(iolfs::FileId file, uint64_t offset, char* dst, size_t n);
+
+  // pwrite: copy semantics in the other direction.
+  size_t Write(iolfs::FileId file, uint64_t offset, const char* src, size_t n);
+
+  iolfs::FileIoService& io() { return *io_; }
+  iolite::BufferPool* pool() { return pool_; }
+  iolsim::SimContext* ctx() { return ctx_; }
+
+ private:
+  iolsim::SimContext* ctx_;
+  iolfs::FileIoService* io_;
+  iolite::BufferPool* pool_;
+};
+
+// Copy-based pipe (conventional UNIX): a write copies the producer's data
+// into a kernel buffer, a read copies it out again — two copies per byte
+// transferred, plus the syscalls.
+class PosixPipe {
+ public:
+  explicit PosixPipe(iolsim::SimContext* ctx) : ctx_(ctx) {}
+
+  size_t Write(const char* src, size_t n);
+  size_t Read(char* dst, size_t n);
+  size_t bytes_queued() const { return buffer_.size() - read_pos_; }
+
+ private:
+  void Compact();
+
+  iolsim::SimContext* ctx_;
+  std::vector<char> buffer_;
+  size_t read_pos_ = 0;
+};
+
+// Memory-mapped file window (the mmap interface IO-Lite incorporates for
+// programs needing contiguous, in-place-modifiable storage, Section 3.8).
+//
+// Page-fault behaviour:
+//  * First access to a page whose cached data is page-aligned and
+//    contiguous: mapping only (page-map cost, no copy).
+//  * First access to a page whose data is not properly aligned (e.g. it
+//    arrived from the network): lazy per-page *copy* plus mapping.
+//  * Store to a page also referenced through an immutable IO-Lite buffer:
+//    lazy copy-on-write to preserve IOL_read snapshot semantics.
+class MmapRegion {
+ public:
+  MmapRegion(PosixIo* posix, iolfs::FileId file);
+
+  // Faults in [offset, offset+len) for reading; returns a pointer to the
+  // contiguous window at `offset`.
+  const char* EnsureRead(uint64_t offset, size_t len);
+
+  // Faults in the range for writing (copy-on-write where needed) and
+  // returns a mutable pointer. Stores do NOT write back to the file in
+  // this emulation unless Sync() is called.
+  char* EnsureWrite(uint64_t offset, size_t len);
+
+  // Writes dirty pages back through the cache.
+  void Sync();
+
+  uint64_t length() const { return length_; }
+  uint64_t pages_mapped() const { return pages_mapped_; }
+  uint64_t pages_copied() const { return pages_copied_; }
+
+ private:
+  enum class PageState : uint8_t { kUntouched, kMapped, kCopied };
+
+  void FaultRead(uint64_t page);
+  void FaultWrite(uint64_t page);
+  bool PageIsAligned(uint64_t page, const iolite::Aggregate& agg) const;
+
+  PosixIo* posix_;
+  iolfs::FileId file_;
+  uint64_t length_;
+  size_t page_size_;
+  std::unique_ptr<char[]> window_;
+  std::vector<PageState> states_;
+  std::vector<bool> dirty_;
+  uint64_t pages_mapped_ = 0;
+  uint64_t pages_copied_ = 0;
+};
+
+}  // namespace iolposix
+
+#endif  // SRC_POSIX_POSIX_IO_H_

@@ -1,0 +1,148 @@
+// Discrete-event engine driving the simulated machine.
+//
+// Benchmarks model a closed-loop client population: each client issues a
+// request, the request visits a series of Resources (CPU, disk, network
+// link), and completion schedules the client's next request. The EventQueue
+// orders those completions in virtual time.
+
+#ifndef SRC_SIMOS_EVENT_QUEUE_H_
+#define SRC_SIMOS_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/simos/clock.h"
+
+namespace iolsim {
+
+// A time-ordered queue of callbacks. Ties are broken by insertion order so
+// simulations are deterministic.
+class EventQueue {
+ public:
+  explicit EventQueue(VirtualClock* clock) : clock_(clock) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` to run at absolute time `when` (clamped to now).
+  void ScheduleAt(SimTime when, std::function<void()> fn) {
+    if (when < clock_->now()) {
+      when = clock_->now();
+    }
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  // Schedules `fn` to run `delay` after the current time.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(clock_->now() + delay, std::move(fn));
+  }
+
+  // True if no events are pending.
+  bool empty() const { return heap_.empty(); }
+
+  // Number of pending events.
+  size_t size() const { return heap_.size(); }
+
+  // Dispatches the earliest event, advancing the clock to its timestamp.
+  // Returns false if the queue was empty.
+  bool RunOne() {
+    if (heap_.empty()) {
+      return false;
+    }
+    Event ev = heap_.top();
+    heap_.pop();
+    clock_->AdvanceTo(ev.when);
+    ev.fn();
+    return true;
+  }
+
+  // Runs events until the queue drains or the clock passes `deadline`.
+  // Events scheduled exactly at `deadline` still run. Returns the number of
+  // events dispatched.
+  uint64_t RunUntil(SimTime deadline) {
+    uint64_t dispatched = 0;
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+      RunOne();
+      ++dispatched;
+    }
+    clock_->AdvanceTo(deadline);
+    return dispatched;
+  }
+
+  // Runs until no events remain.
+  uint64_t RunAll() {
+    uint64_t dispatched = 0;
+    while (RunOne()) {
+      ++dispatched;
+    }
+    return dispatched;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  VirtualClock* clock_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+// A FIFO service resource (CPU, disk arm, network link).
+//
+// A job arriving at time `now` with service demand `d` begins service at
+// max(now, available_at) and completes at begin + d. This models a single
+// server queue without materializing the queue itself, which is sufficient
+// for FIFO service and keeps the simulation allocation-free.
+class Resource {
+ public:
+  explicit Resource(VirtualClock* clock) : clock_(clock) {}
+
+  // Reserves the resource for `service` time and returns the completion
+  // time. The caller typically schedules an event at the returned time.
+  SimTime Acquire(SimTime service) { return AcquireAfter(clock_->now(), service); }
+
+  // Reserves the resource for `service` time starting no earlier than
+  // `earliest` (e.g. after an upstream stage completes).
+  SimTime AcquireAfter(SimTime earliest, SimTime service) {
+    SimTime now = clock_->now();
+    SimTime start = earliest > now ? earliest : now;
+    if (available_at_ > start) {
+      start = available_at_;
+    }
+    available_at_ = start + service;
+    busy_ += service;
+    return available_at_;
+  }
+
+  // Time at which the resource next becomes free.
+  SimTime available_at() const { return available_at_; }
+
+  // Total busy time accumulated (for utilization reporting).
+  SimTime busy_time() const { return busy_; }
+
+  void Reset() {
+    available_at_ = 0;
+    busy_ = 0;
+  }
+
+ private:
+  VirtualClock* clock_;
+  SimTime available_at_ = 0;
+  SimTime busy_ = 0;
+};
+
+}  // namespace iolsim
+
+#endif  // SRC_SIMOS_EVENT_QUEUE_H_

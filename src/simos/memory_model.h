@@ -1,0 +1,86 @@
+// Physical memory accounting for the simulated machine.
+//
+// The paper's server has 128 MB. How that memory is divided matters for the
+// trace experiments: copy-based servers lose file-cache memory to TCP socket
+// send buffers (one Tss per concurrent connection, Section 5.7) and Apache
+// additionally loses a resident process per connection; IO-Lite's send
+// "buffers" are references into the unified cache, so the cache budget is
+// independent of the client population.
+
+#ifndef SRC_SIMOS_MEMORY_MODEL_H_
+#define SRC_SIMOS_MEMORY_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace iolsim {
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(uint64_t total_bytes) : total_(total_bytes) {}
+
+  uint64_t total() const { return total_; }
+
+  // Records `bytes` of memory in use under `category` (e.g. "kernel",
+  // "apache_processes", "socket_send_buffers"). Returns false if the
+  // reservation would exceed physical memory; the reservation is still
+  // recorded (the VM system would page, which the file cache budget then
+  // reflects as zero).
+  bool Reserve(const std::string& category, uint64_t bytes) {
+    reserved_[category] += bytes;
+    return used() <= total_;
+  }
+
+  // Releases `bytes` from `category` (clamped at zero).
+  void Release(const std::string& category, uint64_t bytes) {
+    auto it = reserved_.find(category);
+    if (it == reserved_.end()) {
+      return;
+    }
+    if (it->second <= bytes) {
+      reserved_.erase(it);
+    } else {
+      it->second -= bytes;
+    }
+  }
+
+  // Replaces the reservation under `category` with exactly `bytes`.
+  void Set(const std::string& category, uint64_t bytes) {
+    if (bytes == 0) {
+      reserved_.erase(category);
+    } else {
+      reserved_[category] = bytes;
+    }
+  }
+
+  uint64_t reservation(const std::string& category) const {
+    auto it = reserved_.find(category);
+    return it == reserved_.end() ? 0 : it->second;
+  }
+
+  // Sum of all reservations.
+  uint64_t used() const {
+    uint64_t sum = 0;
+    for (const auto& [name, bytes] : reserved_) {
+      sum += bytes;
+    }
+    return sum;
+  }
+
+  // Memory left over for the file cache after all other reservations.
+  uint64_t CacheBudget() const {
+    uint64_t u = used();
+    return u >= total_ ? 0 : total_ - u;
+  }
+
+  void Reset() { reserved_.clear(); }
+
+ private:
+  uint64_t total_;
+  std::map<std::string, uint64_t> reserved_;
+};
+
+}  // namespace iolsim
+
+#endif  // SRC_SIMOS_MEMORY_MODEL_H_

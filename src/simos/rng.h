@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// SplitMix64 core with convenience samplers. Every benchmark seeds its own
+// generator so runs are exactly reproducible.
+
+#ifndef SRC_SIMOS_RNG_H_
+#define SRC_SIMOS_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace iolsim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  // Next raw 64-bit value (SplitMix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform integer in [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    if (hi <= lo) {
+      return lo;
+    }
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Lognormal with the given parameters of the underlying normal.
+  double NextLognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * NextGaussian());
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace iolsim
+
+#endif  // SRC_SIMOS_RNG_H_

@@ -1,0 +1,57 @@
+// Per-run operation counters.
+//
+// Every subsystem increments these as it performs work, so tests can assert
+// structural properties ("Flash-Lite performed zero data copies on the static
+// path") and EXPERIMENTS.md can report the mechanism behind each result.
+
+#ifndef SRC_SIMOS_STATS_H_
+#define SRC_SIMOS_STATS_H_
+
+#include <cstdint>
+
+namespace iolsim {
+
+struct SimStats {
+  // Data-touching operations.
+  uint64_t bytes_copied = 0;
+  uint64_t copy_ops = 0;
+  uint64_t bytes_checksummed = 0;
+  uint64_t checksum_ops = 0;
+  uint64_t checksum_cache_hits = 0;
+  uint64_t checksum_cache_misses = 0;
+
+  // VM activity.
+  uint64_t pages_mapped = 0;
+  uint64_t page_protect_ops = 0;
+  uint64_t chunk_map_ops = 0;
+
+  // Buffer lifecycle.
+  uint64_t buffers_allocated = 0;
+  uint64_t buffers_recycled = 0;
+  uint64_t buffers_freed = 0;
+
+  // File cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+
+  // Disk.
+  uint64_t disk_reads = 0;
+  uint64_t disk_bytes_read = 0;
+  uint64_t disk_writes = 0;
+  uint64_t disk_bytes_written = 0;
+
+  // Network.
+  uint64_t tcp_connections = 0;
+  uint64_t packets_sent = 0;
+  uint64_t bytes_sent = 0;
+
+  // Syscall boundary crossings.
+  uint64_t syscalls = 0;
+
+  void Reset() { *this = SimStats{}; }
+};
+
+}  // namespace iolsim
+
+#endif  // SRC_SIMOS_STATS_H_

@@ -1,0 +1,118 @@
+#include "src/simos/vm.h"
+
+#include <cassert>
+
+#include "src/simos/sim_context.h"
+
+namespace iolsim {
+
+namespace {
+const std::string kUnknownDomain = "<unknown>";
+}  // namespace
+
+DomainId VmSystem::CreateDomain(const std::string& name) {
+  DomainId id = next_domain_++;
+  domains_[id] = name;
+  return id;
+}
+
+void VmSystem::DestroyDomain(DomainId domain) {
+  domains_.erase(domain);
+  for (auto& [id, chunk] : chunks_) {
+    chunk.mappings.erase(domain);
+  }
+}
+
+const std::string& VmSystem::DomainName(DomainId domain) const {
+  if (domain == kKernelDomain) {
+    static const std::string kKernelName = "kernel";
+    return kKernelName;
+  }
+  auto it = domains_.find(domain);
+  return it == domains_.end() ? kUnknownDomain : it->second;
+}
+
+int VmSystem::PagesPerChunk() const {
+  const CostParams& p = ctx_->cost().params();
+  return p.chunk_size / p.page_size;
+}
+
+ChunkId VmSystem::AllocateChunk(DomainId producer) {
+  ChunkId id = next_chunk_++;
+  Chunk& chunk = chunks_[id];
+  chunk.producer = producer;
+  // The kernel is trusted and keeps a permanent read/write mapping.
+  chunk.mappings[kKernelDomain] = MapState::kReadWrite;
+  if (producer != kKernelDomain) {
+    chunk.mappings[producer] = MapState::kReadWrite;
+    ctx_->ChargeCpu(ctx_->cost().PageMapCost(PagesPerChunk()));
+    ctx_->stats().pages_mapped += PagesPerChunk();
+  }
+  ctx_->stats().chunk_map_ops++;
+  return id;
+}
+
+void VmSystem::FreeChunk(ChunkId chunk) { chunks_.erase(chunk); }
+
+bool VmSystem::EnsureReadable(ChunkId chunk, DomainId domain) {
+  auto it = chunks_.find(chunk);
+  assert(it != chunks_.end() && "EnsureReadable on freed chunk");
+  MapState& state = it->second.mappings[domain];
+  if (state != MapState::kUnmapped) {
+    return false;  // Mapping persists from an earlier transfer: free.
+  }
+  state = MapState::kReadOnly;
+  ctx_->ChargeCpu(ctx_->cost().PageMapCost(PagesPerChunk()));
+  ctx_->stats().pages_mapped += PagesPerChunk();
+  ctx_->stats().chunk_map_ops++;
+  return true;
+}
+
+void VmSystem::SetWritable(ChunkId chunk, DomainId domain, bool writable) {
+  auto it = chunks_.find(chunk);
+  assert(it != chunks_.end() && "SetWritable on freed chunk");
+  if (domain == kKernelDomain) {
+    return;  // Trusted producer: permanent write permission, no toggling.
+  }
+  MapState& state = it->second.mappings[domain];
+  MapState target = writable ? MapState::kReadWrite : MapState::kReadOnly;
+  if (state == target) {
+    return;
+  }
+  if (state == MapState::kUnmapped) {
+    // Granting write to an unmapped chunk requires establishing mappings.
+    ctx_->ChargeCpu(ctx_->cost().PageMapCost(PagesPerChunk()));
+    ctx_->stats().pages_mapped += PagesPerChunk();
+    ctx_->stats().chunk_map_ops++;
+  } else {
+    // One mprotect-style call flips the whole chunk's protection.
+    ctx_->ChargeCpu(ctx_->cost().PageProtectCost(1));
+    ctx_->stats().page_protect_ops++;
+  }
+  state = target;
+}
+
+bool VmSystem::CanRead(ChunkId chunk, DomainId domain) const {
+  if (domain == kKernelDomain) {
+    return ChunkExists(chunk);
+  }
+  return StateOf(chunk, domain) != MapState::kUnmapped;
+}
+
+bool VmSystem::CanWrite(ChunkId chunk, DomainId domain) const {
+  if (domain == kKernelDomain) {
+    return ChunkExists(chunk);
+  }
+  return StateOf(chunk, domain) == MapState::kReadWrite;
+}
+
+MapState VmSystem::StateOf(ChunkId chunk, DomainId domain) const {
+  auto it = chunks_.find(chunk);
+  if (it == chunks_.end()) {
+    return MapState::kUnmapped;
+  }
+  auto mit = it->second.mappings.find(domain);
+  return mit == it->second.mappings.end() ? MapState::kUnmapped : mit->second;
+}
+
+}  // namespace iolsim

@@ -1,0 +1,97 @@
+// Simulated virtual memory system: protection domains and the IO-Lite window.
+//
+// IO-Lite buffers live in a region (the "IO-Lite window") that appears at the
+// same virtual address in every protection domain, including the kernel
+// (Section 3.3). Access control is performed at chunk granularity (64 KB,
+// Section 4.5): in a given domain, either all pages of a chunk are accessible
+// or none are. Read mappings are established lazily when an aggregate first
+// crosses into a domain and persist afterwards, which is what makes warm
+// cross-domain transfers approach shared-memory speed (Section 3.2).
+
+#ifndef SRC_SIMOS_VM_H_
+#define SRC_SIMOS_VM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace iolsim {
+
+class SimContext;
+
+using DomainId = int32_t;
+using ChunkId = int64_t;
+
+constexpr DomainId kKernelDomain = 0;
+constexpr ChunkId kInvalidChunk = -1;
+
+// Per-domain mapping state of one chunk.
+enum class MapState : uint8_t {
+  kUnmapped = 0,
+  kReadOnly = 1,
+  kReadWrite = 2,
+};
+
+class VmSystem {
+ public:
+  explicit VmSystem(SimContext* ctx) : ctx_(ctx) {}
+
+  VmSystem(const VmSystem&) = delete;
+  VmSystem& operator=(const VmSystem&) = delete;
+
+  // Creates a new protection domain (process address space).
+  DomainId CreateDomain(const std::string& name);
+
+  // Destroys a domain; its mappings disappear.
+  void DestroyDomain(DomainId domain);
+
+  const std::string& DomainName(DomainId domain) const;
+  size_t domain_count() const { return domains_.size(); }
+
+  // Allocates a fresh chunk in the IO-Lite window, writable in `producer`
+  // (and implicitly accessible to the kernel, which is trusted). Charges the
+  // page-mapping cost of the chunk's pages in the producer domain.
+  ChunkId AllocateChunk(DomainId producer);
+
+  // Frees a chunk entirely (its memory returns to the VM system).
+  void FreeChunk(ChunkId chunk);
+
+  // Grants `domain` read access to `chunk`. The first grant charges page
+  // mapping costs; thereafter the mapping persists and the call is free.
+  // Returns true if mapping work happened (cold transfer).
+  bool EnsureReadable(ChunkId chunk, DomainId domain);
+
+  // Toggles write permission for the producer when a buffer is being filled
+  // or sealed. Trusted domains (the kernel) hold permanent write permission
+  // and toggling is free (Section 3.2).
+  void SetWritable(ChunkId chunk, DomainId domain, bool writable);
+
+  // Access checks used by the IO-Lite runtime to enforce protection.
+  bool CanRead(ChunkId chunk, DomainId domain) const;
+  bool CanWrite(ChunkId chunk, DomainId domain) const;
+
+  MapState StateOf(ChunkId chunk, DomainId domain) const;
+
+  bool ChunkExists(ChunkId chunk) const { return chunks_.count(chunk) > 0; }
+  size_t live_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    DomainId producer = kKernelDomain;
+    // Mapping state per domain. Small maps: few domains per chunk.
+    std::unordered_map<DomainId, MapState> mappings;
+  };
+
+  int PagesPerChunk() const;
+
+  SimContext* ctx_;
+  ChunkId next_chunk_ = 1;
+  std::unordered_map<ChunkId, Chunk> chunks_;
+  std::unordered_map<DomainId, std::string> domains_;
+  DomainId next_domain_ = 1;
+};
+
+}  // namespace iolsim
+
+#endif  // SRC_SIMOS_VM_H_

@@ -1,0 +1,80 @@
+// System: one fully assembled simulated machine.
+//
+// Bundles the substrate (SimContext), the IO-Lite runtime and kernel pool,
+// the simulated file system, the unified file cache, the file I/O service,
+// the POSIX compatibility layer and the network subsystem — the pieces every
+// test, example and benchmark needs. Construct one System per experiment
+// run; it is deterministic and self-contained.
+
+#ifndef SRC_SYSTEM_SYSTEM_H_
+#define SRC_SYSTEM_SYSTEM_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/fs/file_cache.h"
+#include "src/fs/file_io.h"
+#include "src/fs/replacement_policy.h"
+#include "src/fs/sim_file_system.h"
+#include "src/iolite/runtime.h"
+#include "src/net/tcp.h"
+#include "src/posix/posix_io.h"
+#include "src/simos/sim_context.h"
+
+namespace iolsys {
+
+struct SystemOptions {
+  iolsim::CostParams cost;
+  bool checksum_cache = true;
+  // Initial cache policy; replaced via Flash-Lite's customization hook when
+  // an experiment asks for GDS.
+  enum class Policy { kPaperLru, kPlainLru, kGds } policy = Policy::kPaperLru;
+};
+
+class System {
+ public:
+  explicit System(const SystemOptions& options = SystemOptions{})
+      : ctx_(options.cost),
+        runtime_(&ctx_),
+        fs_(&ctx_, runtime_.kernel_pool()),
+        cache_(&ctx_, MakePolicy(options.policy)),
+        io_(&ctx_, &fs_, &cache_),
+        posix_(&ctx_, &io_, runtime_.kernel_pool()),
+        net_(&ctx_, options.checksum_cache) {}
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  iolsim::SimContext& ctx() { return ctx_; }
+  iolite::IoLiteRuntime& runtime() { return runtime_; }
+  iolfs::SimFileSystem& fs() { return fs_; }
+  iolfs::FileCache& cache() { return cache_; }
+  iolfs::FileIoService& io() { return io_; }
+  iolposix::PosixIo& posix() { return posix_; }
+  iolnet::NetworkSubsystem& net() { return net_; }
+
+  static std::unique_ptr<iolfs::ReplacementPolicy> MakePolicy(SystemOptions::Policy p) {
+    switch (p) {
+      case SystemOptions::Policy::kPlainLru:
+        return std::make_unique<iolfs::PlainLruPolicy>();
+      case SystemOptions::Policy::kGds:
+        return std::make_unique<iolfs::GreedyDualSizePolicy>();
+      case SystemOptions::Policy::kPaperLru:
+      default:
+        return std::make_unique<iolfs::PaperLruPolicy>();
+    }
+  }
+
+ private:
+  iolsim::SimContext ctx_;
+  iolite::IoLiteRuntime runtime_;
+  iolfs::SimFileSystem fs_;
+  iolfs::FileCache cache_;
+  iolfs::FileIoService io_;
+  iolposix::PosixIo posix_;
+  iolnet::NetworkSubsystem net_;
+};
+
+}  // namespace iolsys
+
+#endif  // SRC_SYSTEM_SYSTEM_H_

@@ -1,0 +1,169 @@
+// Tests for the converted applications (Section 5.8): functional equality
+// between the POSIX and IO-Lite variants, and the expected cost ordering.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/apps/filters.h"
+#include "src/apps/gcc_chain.h"
+#include "src/system/system.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using iolapp::CountMatches;
+using iolapp::GccChainConfig;
+using iolapp::WcCounts;
+using iolapp::WcScan;
+using iolfs::FileId;
+using iolsys::System;
+
+TEST(WcScanTest, CountsLinesWordsBytes) {
+  WcCounts c;
+  bool in_word = false;
+  std::string text = "one two\nthree  four\n";
+  WcScan(text.data(), text.size(), &in_word, &c);
+  EXPECT_EQ(c.lines, 2u);
+  EXPECT_EQ(c.words, 4u);
+  EXPECT_EQ(c.bytes, text.size());
+}
+
+TEST(WcScanTest, WordSpanningChunksCountsOnce) {
+  WcCounts c;
+  bool in_word = false;
+  WcScan("hel", 3, &in_word, &c);
+  WcScan("lo world", 8, &in_word, &c);
+  EXPECT_EQ(c.words, 2u);
+}
+
+TEST(CountMatchesTest, FindsAllOccurrences) {
+  std::string hay = "abcabcabc";
+  EXPECT_EQ(CountMatches(hay.data(), hay.size(), "abc"), 3u);
+  EXPECT_EQ(CountMatches(hay.data(), hay.size(), "bca"), 2u);
+  EXPECT_EQ(CountMatches(hay.data(), hay.size(), "zzz"), 0u);
+  EXPECT_EQ(CountMatches(hay.data(), hay.size(), ""), 0u);
+  std::string overlap = "aaaa";
+  EXPECT_EQ(CountMatches(overlap.data(), overlap.size(), "aa"), 3u);
+}
+
+TEST(WcAppTest, PosixAndIoliteAgree) {
+  System sys;
+  FileId f = sys.fs().CreateFile("data", 300 * 1024);
+  WcCounts posix = iolapp::WcPosix(&sys, f);
+  WcCounts iolite = iolapp::WcIolite(&sys, f);
+  EXPECT_EQ(posix, iolite);
+  EXPECT_EQ(posix.bytes, 300u * 1024);
+  EXPECT_GT(posix.words, 0u);
+}
+
+TEST(WcAppTest, IoliteIsFasterOnCachedFile) {
+  System sys;
+  FileId f = sys.fs().CreateFile("data", 1750 * 1024);  // The paper's 1.75 MB.
+  sys.io().ReadExtent(f, 0, 1750 * 1024);  // Warm the cache (no disk in timing).
+
+  iolsim::SimTime t0 = sys.ctx().clock().now();
+  iolapp::WcPosix(&sys, f);
+  iolsim::SimTime posix_time = sys.ctx().clock().now() - t0;
+
+  t0 = sys.ctx().clock().now();
+  iolapp::WcIolite(&sys, f);
+  iolsim::SimTime iolite_time = sys.ctx().clock().now() - t0;
+
+  // The paper reports a 37% reduction; accept a generous band.
+  double saving = 1.0 - static_cast<double>(iolite_time) / static_cast<double>(posix_time);
+  EXPECT_GT(saving, 0.25);
+  EXPECT_LT(saving, 0.55);
+}
+
+TEST(GrepAppTest, PosixAndIoliteAgree) {
+  System sys;
+  FileId f = sys.fs().CreateFile("data", 200 * 1024);
+  // A pattern guaranteed to appear: take it from the file's own content.
+  std::string pattern = ioltest::FileContent(sys.fs(), f, 1234, 3);
+  uint64_t posix = iolapp::GrepCatPosix(&sys, f, pattern);
+  uint64_t iolite = iolapp::GrepCatIolite(&sys, f, pattern);
+  EXPECT_EQ(posix, iolite);
+  EXPECT_GE(posix, 1u);
+}
+
+TEST(GrepAppTest, IoliteEliminatesThreeCopies) {
+  System sys;
+  FileId f = sys.fs().CreateFile("data", 256 * 1024);
+  sys.io().ReadExtent(f, 0, 256 * 1024);
+
+  iolsim::SimTime t0 = sys.ctx().clock().now();
+  iolapp::GrepCatPosix(&sys, f, "xyz");
+  iolsim::SimTime posix_time = sys.ctx().clock().now() - t0;
+
+  t0 = sys.ctx().clock().now();
+  iolapp::GrepCatIolite(&sys, f, "xyz");
+  iolsim::SimTime iolite_time = sys.ctx().clock().now() - t0;
+
+  // Paper: 48% improvement (more copies eliminated than in wc).
+  double saving = 1.0 - static_cast<double>(iolite_time) / static_cast<double>(posix_time);
+  EXPECT_GT(saving, 0.35);
+  EXPECT_LT(saving, 0.65);
+}
+
+TEST(PermuteAppTest, VariantsAgreeOnSmallInput) {
+  // 5 words of 4 chars: 5! * 20 = 2400 bytes through the pipe.
+  std::string sentence = "aaaabbbbccccddddeeee";
+  System sys_a;
+  WcCounts posix = iolapp::PermuteWcPosix(&sys_a, sentence, 4);
+  System sys_b;
+  WcCounts iolite = iolapp::PermuteWcIolite(&sys_b, sentence, 4);
+  EXPECT_EQ(posix, iolite);
+  EXPECT_EQ(posix.bytes, 120u * 20);  // 5! permutations of 20 bytes.
+}
+
+TEST(PermuteAppTest, IoliteEliminatesPipeCopies) {
+  std::string sentence = "aaaabbbbccccddddeeeeffffgggg";  // 7 words: 5040 perms.
+  System sys_a;
+  iolsim::SimTime t0 = sys_a.ctx().clock().now();
+  iolapp::PermuteWcPosix(&sys_a, sentence, 4);
+  iolsim::SimTime posix_time = sys_a.ctx().clock().now() - t0;
+
+  System sys_b;
+  t0 = sys_b.ctx().clock().now();
+  iolapp::PermuteWcIolite(&sys_b, sentence, 4);
+  iolsim::SimTime iolite_time = sys_b.ctx().clock().now() - t0;
+
+  double saving = 1.0 - static_cast<double>(iolite_time) / static_cast<double>(posix_time);
+  EXPECT_GT(saving, 0.2);   // Paper: 33%.
+  EXPECT_LT(saving, 0.5);
+}
+
+TEST(GccChainTest, BothVariantsMoveSameBytes) {
+  GccChainConfig config;
+  config.num_files = 3;
+  config.total_source_bytes = 30 * 1024;
+  System sys_a;
+  uint64_t posix_bytes = iolapp::GccChainPosix(&sys_a, config);
+  System sys_b;
+  uint64_t iolite_bytes = iolapp::GccChainIolite(&sys_b, config);
+  EXPECT_EQ(posix_bytes, iolite_bytes);
+  EXPECT_GT(posix_bytes, config.total_source_bytes);  // Expansion happened.
+}
+
+TEST(GccChainTest, ComputeBoundPipelineGainsLittle) {
+  GccChainConfig config;
+  config.num_files = 5;
+  config.total_source_bytes = 50 * 1024;
+  System sys_a;
+  iolsim::SimTime t0 = sys_a.ctx().clock().now();
+  iolapp::GccChainPosix(&sys_a, config);
+  iolsim::SimTime posix_time = sys_a.ctx().clock().now() - t0;
+
+  System sys_b;
+  t0 = sys_b.ctx().clock().now();
+  iolapp::GccChainIolite(&sys_b, config);
+  iolsim::SimTime iolite_time = sys_b.ctx().clock().now() - t0;
+
+  // Paper: ~1% (6.90 s vs 6.83 s). Accept < 10%.
+  double saving = 1.0 - static_cast<double>(iolite_time) / static_cast<double>(posix_time);
+  EXPECT_GE(saving, 0.0);
+  EXPECT_LT(saving, 0.10);
+}
+
+}  // namespace

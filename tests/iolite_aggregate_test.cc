@@ -1,0 +1,258 @@
+// Unit and property tests for the buffer aggregate ADT (Section 3.1,
+// Figure 1): mutation by pointer manipulation over immutable buffers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/iolite/aggregate.h"
+#include "src/iolite/buffer_pool.h"
+#include "src/simos/rng.h"
+#include "src/simos/sim_context.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using iolite::Aggregate;
+using iolite::BufferPool;
+using iolite::BufferRef;
+using iolite::Slice;
+using iolsim::SimContext;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest() : pool_(&ctx_, "test", iolsim::kKernelDomain) {}
+
+  Aggregate Agg(const std::string& s) { return ioltest::AggFrom(&pool_, s); }
+
+  SimContext ctx_;
+  BufferPool pool_;
+};
+
+TEST_F(AggregateTest, EmptyAggregate) {
+  Aggregate a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.slice_count(), 0u);
+  EXPECT_EQ(a.ToString(), "");
+}
+
+TEST_F(AggregateTest, FromBufferCoversWholeContents) {
+  Aggregate a = Agg("hello world");
+  EXPECT_EQ(a.size(), 11u);
+  EXPECT_EQ(a.slice_count(), 1u);
+  EXPECT_EQ(a.ToString(), "hello world");
+}
+
+TEST_F(AggregateTest, AppendConcatenatesWithoutTouchingData) {
+  Aggregate a = Agg("hello ");
+  Aggregate b = Agg("world");
+  uint64_t copied = ctx_.stats().bytes_copied;
+  a.Append(b);
+  EXPECT_EQ(a.ToString(), "hello world");
+  EXPECT_EQ(a.slice_count(), 2u);
+  EXPECT_EQ(ctx_.stats().bytes_copied, copied);  // Pointer manipulation only.
+}
+
+TEST_F(AggregateTest, PrependPutsDataFirst) {
+  Aggregate a = Agg("world");
+  a.Prepend(Agg("hello "));
+  EXPECT_EQ(a.ToString(), "hello world");
+}
+
+TEST_F(AggregateTest, TruncateKeepsPrefix) {
+  Aggregate a = Agg("hello");
+  a.Append(Agg(" world"));
+  a.Truncate(8);
+  EXPECT_EQ(a.ToString(), "hello wo");
+  a.Truncate(100);  // Beyond size: no-op.
+  EXPECT_EQ(a.size(), 8u);
+  a.Truncate(0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST_F(AggregateTest, TruncateAtSliceBoundaryDropsWholeSlices) {
+  Aggregate a = Agg("abc");
+  a.Append(Agg("def"));
+  a.Truncate(3);
+  EXPECT_EQ(a.slice_count(), 1u);
+  EXPECT_EQ(a.ToString(), "abc");
+}
+
+TEST_F(AggregateTest, DropFrontRemovesPrefix) {
+  Aggregate a = Agg("hello");
+  a.Append(Agg(" world"));
+  a.DropFront(6);
+  EXPECT_EQ(a.ToString(), "world");
+  a.DropFront(100);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST_F(AggregateTest, SplitOffReturnsTail) {
+  Aggregate a = Agg("hello world");
+  Aggregate tail = a.SplitOff(5);
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_EQ(tail.ToString(), " world");
+}
+
+TEST_F(AggregateTest, SplitAtZeroAndEnd) {
+  Aggregate a = Agg("abc");
+  Aggregate tail = a.SplitOff(0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(tail.ToString(), "abc");
+  Aggregate tail2 = tail.SplitOff(3);
+  EXPECT_EQ(tail.ToString(), "abc");
+  EXPECT_TRUE(tail2.empty());
+}
+
+TEST_F(AggregateTest, RangeSharesBuffers) {
+  Aggregate a = Agg("hello world");
+  Aggregate mid = a.Range(3, 5);
+  EXPECT_EQ(mid.ToString(), "lo wo");
+  // Same underlying buffer, not a copy.
+  EXPECT_EQ(mid.slices()[0].buffer().get(), a.slices()[0].buffer().get());
+}
+
+TEST_F(AggregateTest, ByteAtWalksSlices) {
+  Aggregate a = Agg("abc");
+  a.Append(Agg("def"));
+  EXPECT_EQ(a.ByteAt(0), 'a');
+  EXPECT_EQ(a.ByteAt(2), 'c');
+  EXPECT_EQ(a.ByteAt(3), 'd');
+  EXPECT_EQ(a.ByteAt(5), 'f');
+}
+
+TEST_F(AggregateTest, ContentEqualsIgnoresSliceStructure) {
+  Aggregate a = Agg("hello world");
+  Aggregate b = Agg("hello ");
+  b.Append(Agg("world"));
+  EXPECT_TRUE(a.ContentEquals(b));
+  EXPECT_TRUE(b.ContentEquals(a));
+  Aggregate c = Agg("hello worlD");
+  EXPECT_FALSE(a.ContentEquals(c));
+}
+
+TEST_F(AggregateTest, ReaderYieldsContiguousRuns) {
+  Aggregate a = Agg("abc");
+  a.Append(Agg("defgh"));
+  Aggregate::Reader r = a.NewReader();
+  ASSERT_FALSE(r.AtEnd());
+  EXPECT_EQ(std::string(r.data(), r.run_length()), "abc");
+  r.Skip(3);
+  EXPECT_EQ(std::string(r.data(), r.run_length()), "defgh");
+  r.Skip(5);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.position(), 8u);
+}
+
+TEST_F(AggregateTest, ReaderSkipsAcrossSlices) {
+  Aggregate a = Agg("abc");
+  a.Append(Agg("def"));
+  Aggregate::Reader r = a.NewReader();
+  r.Skip(4);
+  EXPECT_EQ(std::string(r.data(), r.run_length()), "ef");
+}
+
+TEST_F(AggregateTest, SlicesHoldBufferReferences) {
+  BufferRef b = ioltest::BufferFrom(&pool_, "shared");
+  Aggregate a = Aggregate::FromBuffer(b);
+  Aggregate copy = a;
+  EXPECT_EQ(b->refcount(), 3);  // b + a's slice + copy's slice.
+  a.Clear();
+  EXPECT_EQ(b->refcount(), 2);
+}
+
+TEST_F(AggregateTest, SnapshotSurvivesSourceMutation) {
+  Aggregate a = Agg("hello world");
+  Aggregate snapshot = a.Range(0, 5);
+  a.DropFront(8);
+  a.Truncate(1);
+  EXPECT_EQ(snapshot.ToString(), "hello");  // Immutable data, stable view.
+}
+
+TEST_F(AggregateTest, OverlappingSlicesWithinOneBuffer) {
+  BufferRef b = ioltest::BufferFrom(&pool_, "abcdef");
+  Aggregate a;
+  a.Append(Slice(b, 0, 4));  // "abcd"
+  a.Append(Slice(b, 2, 4));  // "cdef" — overlaps; legal per Section 3.3.
+  EXPECT_EQ(a.ToString(), "abcdcdef");
+}
+
+// --- Property test: random op sequences against a reference string ---------
+
+class AggregatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatePropertyTest, MatchesReferenceModel) {
+  SimContext ctx;
+  BufferPool pool(&ctx, "prop", iolsim::kKernelDomain);
+  iolsim::Rng rng(GetParam());
+
+  Aggregate agg;
+  std::string model;
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.NextBelow(6)) {
+      case 0: {  // Append fresh data.
+        size_t n = 1 + rng.NextBelow(64);
+        std::string data;
+        for (size_t i = 0; i < n; ++i) {
+          data.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+        }
+        agg.Append(ioltest::AggFrom(&pool, data));
+        model += data;
+        break;
+      }
+      case 1: {  // Prepend fresh data.
+        size_t n = 1 + rng.NextBelow(32);
+        std::string data(n, static_cast<char>('A' + rng.NextBelow(26)));
+        agg.Prepend(ioltest::AggFrom(&pool, data));
+        model = data + model;
+        break;
+      }
+      case 2: {  // Truncate.
+        if (model.empty()) {
+          break;
+        }
+        size_t at = rng.NextBelow(model.size() + 1);
+        agg.Truncate(at);
+        model.resize(at);
+        break;
+      }
+      case 3: {  // DropFront.
+        if (model.empty()) {
+          break;
+        }
+        size_t n = rng.NextBelow(model.size() + 1);
+        agg.DropFront(n);
+        model.erase(0, n);
+        break;
+      }
+      case 4: {  // SplitOff and re-append (content-preserving).
+        if (model.empty()) {
+          break;
+        }
+        size_t at = rng.NextBelow(model.size() + 1);
+        Aggregate tail = agg.SplitOff(at);
+        agg.Append(tail);
+        break;
+      }
+      case 5: {  // Range copy equals substring.
+        if (model.empty()) {
+          break;
+        }
+        size_t off = rng.NextBelow(model.size());
+        size_t len = rng.NextBelow(model.size() - off + 1);
+        EXPECT_EQ(agg.Range(off, len).ToString(), model.substr(off, len));
+        break;
+      }
+    }
+    ASSERT_EQ(agg.size(), model.size()) << "step " << step;
+  }
+  EXPECT_EQ(agg.ToString(), model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Tests for the POSIX compatibility layer: copy-semantics read/write,
+// copy-based pipes, and the mmap emulation with lazy copy and copy-on-write
+// (Sections 3.8, 4.2, 6.1, 6.2).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/posix/posix_io.h"
+#include "src/system/system.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using iolfs::FileId;
+using iolposix::MmapRegion;
+using iolposix::PosixPipe;
+using iolsys::System;
+
+class PosixTest : public ::testing::Test {
+ protected:
+  System sys_;
+};
+
+TEST_F(PosixTest, ReadReturnsFileContent) {
+  FileId f = sys_.fs().CreateFile("a", 4096);
+  std::vector<char> buf(4096);
+  EXPECT_EQ(sys_.posix().Read(f, 0, buf.data(), 4096), 4096u);
+  EXPECT_EQ(std::string(buf.data(), 4096), ioltest::FileContent(sys_.fs(), f, 0, 4096));
+}
+
+TEST_F(PosixTest, ReadChargesOneCopyPerByte) {
+  FileId f = sys_.fs().CreateFile("a", 10000);
+  sys_.io().ReadExtent(f, 0, 10000);  // Warm the cache.
+  std::vector<char> buf(10000);
+  uint64_t copied = sys_.ctx().stats().bytes_copied;
+  sys_.posix().Read(f, 0, buf.data(), 10000);
+  EXPECT_EQ(sys_.ctx().stats().bytes_copied - copied, 10000u);
+}
+
+TEST_F(PosixTest, ReadClampsAtEndOfFile) {
+  FileId f = sys_.fs().CreateFile("a", 100);
+  std::vector<char> buf(1000);
+  EXPECT_EQ(sys_.posix().Read(f, 60, buf.data(), 1000), 40u);
+  EXPECT_EQ(sys_.posix().Read(f, 100, buf.data(), 1000), 0u);
+}
+
+TEST_F(PosixTest, WriteThenReadRoundTrips) {
+  FileId f = sys_.fs().CreateFile("a", 1000);
+  std::string payload = "copy-semantics payload";
+  sys_.posix().Write(f, 50, payload.data(), payload.size());
+  std::vector<char> buf(payload.size());
+  sys_.posix().Read(f, 50, buf.data(), payload.size());
+  EXPECT_EQ(std::string(buf.data(), payload.size()), payload);
+}
+
+TEST_F(PosixTest, WriteHasCopySemantics) {
+  // After write returns, the application may modify its buffer without
+  // affecting the file.
+  FileId f = sys_.fs().CreateFile("a", 100);
+  std::string payload = "original";
+  sys_.posix().Write(f, 0, payload.data(), payload.size());
+  payload[0] = 'X';
+  std::vector<char> buf(8);
+  sys_.posix().Read(f, 0, buf.data(), 8);
+  EXPECT_EQ(std::string(buf.data(), 8), "original");
+}
+
+TEST_F(PosixTest, PipeRoundTripCopiesTwice) {
+  PosixPipe pipe(&sys_.ctx());
+  std::string msg = "through the kernel";
+  uint64_t copied = sys_.ctx().stats().bytes_copied;
+  pipe.Write(msg.data(), msg.size());
+  std::vector<char> buf(msg.size());
+  EXPECT_EQ(pipe.Read(buf.data(), msg.size()), msg.size());
+  EXPECT_EQ(std::string(buf.data(), msg.size()), msg);
+  EXPECT_EQ(sys_.ctx().stats().bytes_copied - copied, 2 * msg.size());
+}
+
+TEST_F(PosixTest, PipeShortReads) {
+  PosixPipe pipe(&sys_.ctx());
+  pipe.Write("abcdef", 6);
+  std::vector<char> buf(4);
+  EXPECT_EQ(pipe.Read(buf.data(), 4), 4u);
+  EXPECT_EQ(std::string(buf.data(), 4), "abcd");
+  EXPECT_EQ(pipe.bytes_queued(), 2u);
+  EXPECT_EQ(pipe.Read(buf.data(), 4), 2u);
+  EXPECT_EQ(pipe.Read(buf.data(), 4), 0u);
+}
+
+// --- mmap --------------------------------------------------------------------
+
+TEST_F(PosixTest, MmapReadSeesFileContent) {
+  FileId f = sys_.fs().CreateFile("a", 10000);
+  MmapRegion region(&sys_.posix(), f);
+  const char* p = region.EnsureRead(0, 10000);
+  EXPECT_EQ(std::string(p, 10000), ioltest::FileContent(sys_.fs(), f, 0, 10000));
+}
+
+TEST_F(PosixTest, MmapAlignedDataIsNotCopied) {
+  // Data read from local disk is page-aligned: mapping only, no copy.
+  FileId f = sys_.fs().CreateFile("a", 8192);
+  sys_.io().ReadExtent(f, 0, 8192);  // Cached as one aligned buffer.
+  MmapRegion region(&sys_.posix(), f);
+  region.EnsureRead(0, 8192);
+  EXPECT_EQ(region.pages_copied(), 0u);
+  EXPECT_EQ(region.pages_mapped(), 2u);
+}
+
+TEST_F(PosixTest, MmapFaultsArePerPageAndLazy) {
+  FileId f = sys_.fs().CreateFile("a", 16384);
+  MmapRegion region(&sys_.posix(), f);
+  EXPECT_EQ(region.pages_mapped(), 0u);  // Nothing until first access.
+  region.EnsureRead(0, 100);
+  EXPECT_EQ(region.pages_mapped(), 1u);
+  region.EnsureRead(0, 100);  // Already faulted: no new work.
+  EXPECT_EQ(region.pages_mapped(), 1u);
+  region.EnsureRead(4096, 8192);
+  EXPECT_EQ(region.pages_mapped(), 3u);
+}
+
+TEST_F(PosixTest, MmapUnalignedDataIsLazilyCopied) {
+  // Simulate file data that arrived from the network: cached as an extent
+  // whose placement is not page-aligned (offset 3 within its buffer).
+  FileId f = sys_.fs().CreateFile("a", 4096);
+  auto* pool = sys_.runtime().kernel_pool();
+  std::string content = ioltest::FileContent(sys_.fs(), f, 0, 4096);
+  iolite::BufferRef raw = pool->AllocateFrom(("xyz" + content).data(), 4099);
+  iolite::Aggregate misaligned =
+      iolite::Aggregate::FromSlice(iolite::Slice(raw, 3, 4096));
+  sys_.cache().Insert(f, 0, misaligned);
+
+  MmapRegion region(&sys_.posix(), f);
+  const char* p = region.EnsureRead(0, 4096);
+  EXPECT_EQ(std::string(p, 4096), content);    // Correct bytes...
+  EXPECT_EQ(region.pages_copied(), 1u);         // ...via a lazy page copy.
+}
+
+TEST_F(PosixTest, MmapStoreToSharedPageCopiesOnWrite) {
+  FileId f = sys_.fs().CreateFile("a", 4096);
+  // The page is also referenced through an immutable IO-Lite buffer (an
+  // earlier IOL_read): a store must preserve that snapshot.
+  iolite::Aggregate snapshot = sys_.io().ReadExtent(f, 0, 4096);
+  std::string before = snapshot.ToString();
+
+  MmapRegion region(&sys_.posix(), f);
+  char* p = region.EnsureWrite(0, 10);
+  EXPECT_EQ(region.pages_copied(), 1u);  // COW fired.
+  std::memcpy(p, "OVERWRITE!", 10);
+  region.Sync();
+
+  EXPECT_EQ(snapshot.ToString(), before);  // Snapshot preserved.
+  // The file itself sees the store after sync.
+  std::vector<char> buf(10);
+  sys_.posix().Read(f, 0, buf.data(), 10);
+  EXPECT_EQ(std::string(buf.data(), 10), "OVERWRITE!");
+}
+
+TEST_F(PosixTest, MmapChargesMapCostOnFault) {
+  FileId f = sys_.fs().CreateFile("a", 4096);
+  sys_.io().ReadExtent(f, 0, 4096);
+  MmapRegion region(&sys_.posix(), f);
+  iolsim::SimTime before = sys_.ctx().clock().now();
+  region.EnsureRead(0, 4096);
+  EXPECT_GE(sys_.ctx().clock().now() - before, sys_.ctx().cost().PageMapCost(1));
+}
+
+}  // namespace

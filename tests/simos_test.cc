@@ -1,0 +1,321 @@
+// Unit tests for the simulated-OS substrate: clock, event queue, resources,
+// cost model, memory accounting and the VM system.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/simos/cost_model.h"
+#include "src/simos/event_queue.h"
+#include "src/simos/memory_model.h"
+#include "src/simos/rng.h"
+#include "src/simos/sim_context.h"
+#include "src/simos/vm.h"
+
+namespace {
+
+using iolsim::CostModel;
+using iolsim::CostParams;
+using iolsim::EventQueue;
+using iolsim::kMicrosecond;
+using iolsim::kSecond;
+using iolsim::MemoryModel;
+using iolsim::Resource;
+using iolsim::SimContext;
+using iolsim::SimTime;
+using iolsim::VirtualClock;
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.Advance(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.Advance(-5);  // Negative deltas ignored.
+  EXPECT_EQ(clock.now(), 100);
+  clock.AdvanceTo(50);  // Backwards jumps ignored.
+  EXPECT_EQ(clock.now(), 100);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.now(), 500);
+}
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  q.ScheduleAt(300, [&] { order.push_back(3); });
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(200, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 300);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(42, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduledInPastRunsNow) {
+  VirtualClock clock;
+  clock.Advance(1000);
+  EventQueue q(&clock);
+  bool ran = false;
+  q.ScheduleAt(10, [&] { ran = true; });
+  q.RunOne();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(clock.now(), 1000);  // No time travel backwards.
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  int count = 0;
+  for (SimTime t = 100; t <= 1000; t += 100) {
+    q.ScheduleAt(t, [&] { ++count; });
+  }
+  uint64_t dispatched = q.RunUntil(500);
+  EXPECT_EQ(dispatched, 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(clock.now(), 500);
+  EXPECT_EQ(q.size(), 5u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) {
+      q.ScheduleAfter(10, step);
+    }
+  };
+  q.ScheduleAt(0, step);
+  q.RunAll();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(clock.now(), 40);
+}
+
+TEST(ResourceTest, FifoQueueing) {
+  VirtualClock clock;
+  Resource r(&clock);
+  // Two jobs back to back: the second queues behind the first.
+  EXPECT_EQ(r.Acquire(100), 100);
+  EXPECT_EQ(r.Acquire(50), 150);
+  EXPECT_EQ(r.busy_time(), 150);
+}
+
+TEST(ResourceTest, AcquireAfterRespectsEarliestStart) {
+  VirtualClock clock;
+  Resource r(&clock);
+  EXPECT_EQ(r.AcquireAfter(1000, 10), 1010);
+  // Resource is busy until 1010, so an earlier-eligible job still queues.
+  EXPECT_EQ(r.AcquireAfter(500, 10), 1020);
+}
+
+TEST(ResourceTest, IdleGapsDoNotAccumulate) {
+  VirtualClock clock;
+  Resource r(&clock);
+  r.Acquire(100);
+  clock.Advance(1000);
+  // Starts at now (1000), not at 100.
+  EXPECT_EQ(r.Acquire(10), 1010);
+}
+
+TEST(CostModelTest, CopyCostScalesLinearly) {
+  CostModel cost;
+  EXPECT_EQ(cost.CopyCost(0), 0);
+  SimTime one_mb = cost.CopyCost(1 << 20);
+  SimTime two_mb = cost.CopyCost(2 << 20);
+  EXPECT_NEAR(static_cast<double>(two_mb), 2.0 * static_cast<double>(one_mb),
+              static_cast<double>(one_mb) * 0.01);
+  // 1 MB at the configured copy rate.
+  EXPECT_NEAR(iolsim::ToSeconds(one_mb), (1 << 20) / cost.params().copy_bytes_per_sec, 1e-4);
+}
+
+TEST(CostModelTest, ChecksumCheaperThanCopy) {
+  CostModel cost;
+  EXPECT_LT(cost.ChecksumCost(100000), cost.CopyCost(100000));
+}
+
+TEST(CostModelTest, PacketCostCountsMssSegments) {
+  CostModel cost;
+  const CostParams& p = cost.params();
+  EXPECT_EQ(cost.PacketProcessingCost(1), p.per_packet_cost);
+  EXPECT_EQ(cost.PacketProcessingCost(p.mtu_bytes), p.per_packet_cost);
+  EXPECT_EQ(cost.PacketProcessingCost(p.mtu_bytes + 1), 2 * p.per_packet_cost);
+  EXPECT_EQ(cost.PacketProcessingCost(10 * p.mtu_bytes), 10 * p.per_packet_cost);
+}
+
+TEST(CostModelTest, WireTimeUsesAggregateNicRate) {
+  CostParams p;
+  p.nic_count = 5;
+  p.nic_bits_per_sec = 100e6;
+  p.wire_efficiency = 0.8;
+  CostModel cost(p);
+  // 400 Mb/s effective: 50 MB takes one second.
+  EXPECT_NEAR(iolsim::ToSeconds(cost.WireTime(50 * 1000 * 1000)), 1.0, 0.01);
+}
+
+TEST(CostModelTest, DiskCostHasSeekAndTransfer) {
+  CostModel cost;
+  SimTime small = cost.DiskAccessCost(512);
+  // Dominated by positioning.
+  EXPECT_GT(small, 8 * kMicrosecond * 1000);
+  // Large transfers are split into max-transfer pieces, each paying a seek.
+  SimTime big = cost.DiskAccessCost(256 * 1024);
+  EXPECT_GT(big, 4 * small / 2);
+}
+
+TEST(CostModelTest, PagesForRoundsUp) {
+  CostModel cost;
+  EXPECT_EQ(cost.PagesFor(1), 1);
+  EXPECT_EQ(cost.PagesFor(4096), 1);
+  EXPECT_EQ(cost.PagesFor(4097), 2);
+  EXPECT_EQ(cost.PagesFor(0), 0);
+}
+
+TEST(MemoryModelTest, ReserveReleaseAndBudget) {
+  MemoryModel mem(128ull << 20);
+  EXPECT_EQ(mem.CacheBudget(), 128ull << 20);
+  mem.Reserve("kernel", 24ull << 20);
+  mem.Reserve("sockets", 4ull << 20);
+  EXPECT_EQ(mem.used(), 28ull << 20);
+  EXPECT_EQ(mem.CacheBudget(), 100ull << 20);
+  mem.Release("sockets", 4ull << 20);
+  EXPECT_EQ(mem.CacheBudget(), 104ull << 20);
+}
+
+TEST(MemoryModelTest, OvercommitYieldsZeroBudget) {
+  MemoryModel mem(10 << 20);
+  EXPECT_FALSE(mem.Reserve("huge", 20 << 20));
+  EXPECT_EQ(mem.CacheBudget(), 0u);
+}
+
+TEST(MemoryModelTest, ReleaseClampsAtZero) {
+  MemoryModel mem(1 << 20);
+  mem.Reserve("a", 100);
+  mem.Release("a", 500);
+  EXPECT_EQ(mem.reservation("a"), 0u);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  iolsim::Rng a(42);
+  iolsim::Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  iolsim::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, LognormalPositive) {
+  iolsim::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.NextLognormal(0.0, 1.4), 0.0);
+  }
+}
+
+// --- VM system --------------------------------------------------------------
+
+class VmTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+};
+
+TEST_F(VmTest, KernelHasImplicitAccess) {
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(iolsim::kKernelDomain);
+  EXPECT_TRUE(ctx_.vm().CanRead(c, iolsim::kKernelDomain));
+  EXPECT_TRUE(ctx_.vm().CanWrite(c, iolsim::kKernelDomain));
+}
+
+TEST_F(VmTest, OtherDomainsStartWithoutAccess) {
+  iolsim::DomainId d = ctx_.vm().CreateDomain("proc");
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(iolsim::kKernelDomain);
+  EXPECT_FALSE(ctx_.vm().CanRead(c, d));
+  EXPECT_FALSE(ctx_.vm().CanWrite(c, d));
+}
+
+TEST_F(VmTest, EnsureReadableChargesOnlyFirstTime) {
+  iolsim::DomainId d = ctx_.vm().CreateDomain("proc");
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(iolsim::kKernelDomain);
+  SimTime before = ctx_.clock().now();
+  EXPECT_TRUE(ctx_.vm().EnsureReadable(c, d));  // Cold: mapping work.
+  SimTime cold = ctx_.clock().now() - before;
+  EXPECT_GT(cold, 0);
+  before = ctx_.clock().now();
+  EXPECT_FALSE(ctx_.vm().EnsureReadable(c, d));  // Warm: mapping persists.
+  EXPECT_EQ(ctx_.clock().now(), before);
+  EXPECT_TRUE(ctx_.vm().CanRead(c, d));
+}
+
+TEST_F(VmTest, ProducerGetsWriteAccessOnAllocation) {
+  iolsim::DomainId d = ctx_.vm().CreateDomain("producer");
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(d);
+  EXPECT_TRUE(ctx_.vm().CanWrite(c, d));
+  EXPECT_TRUE(ctx_.vm().CanRead(c, d));
+}
+
+TEST_F(VmTest, WriteToggleRevokesAndRestores) {
+  iolsim::DomainId d = ctx_.vm().CreateDomain("producer");
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(d);
+  ctx_.vm().SetWritable(c, d, false);
+  EXPECT_FALSE(ctx_.vm().CanWrite(c, d));
+  EXPECT_TRUE(ctx_.vm().CanRead(c, d));  // Read survives the seal.
+  ctx_.vm().SetWritable(c, d, true);
+  EXPECT_TRUE(ctx_.vm().CanWrite(c, d));
+  EXPECT_EQ(ctx_.stats().page_protect_ops, 2u);
+}
+
+TEST_F(VmTest, KernelWriteToggleIsFree) {
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(iolsim::kKernelDomain);
+  SimTime before = ctx_.clock().now();
+  ctx_.vm().SetWritable(c, iolsim::kKernelDomain, false);
+  ctx_.vm().SetWritable(c, iolsim::kKernelDomain, true);
+  EXPECT_EQ(ctx_.clock().now(), before);  // Trusted producer: permanent write.
+  EXPECT_TRUE(ctx_.vm().CanWrite(c, iolsim::kKernelDomain));
+}
+
+TEST_F(VmTest, DestroyDomainDropsMappings) {
+  iolsim::DomainId d = ctx_.vm().CreateDomain("proc");
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(iolsim::kKernelDomain);
+  ctx_.vm().EnsureReadable(c, d);
+  ctx_.vm().DestroyDomain(d);
+  EXPECT_FALSE(ctx_.vm().CanRead(c, d));
+}
+
+TEST_F(VmTest, FreeChunkInvalidates) {
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(iolsim::kKernelDomain);
+  ctx_.vm().FreeChunk(c);
+  EXPECT_FALSE(ctx_.vm().ChunkExists(c));
+  EXPECT_FALSE(ctx_.vm().CanRead(c, iolsim::kKernelDomain));
+}
+
+TEST_F(VmTest, TallyModeAccumulatesInsteadOfAdvancing) {
+  iolsim::Tally tally;
+  iolsim::DomainId d = ctx_.vm().CreateDomain("proc");
+  iolsim::ChunkId c = ctx_.vm().AllocateChunk(iolsim::kKernelDomain);
+  SimTime before = ctx_.clock().now();
+  {
+    iolsim::TallyScope scope(&ctx_, &tally);
+    ctx_.vm().EnsureReadable(c, d);
+  }
+  EXPECT_EQ(ctx_.clock().now(), before);
+  EXPECT_GT(tally.cpu, 0);
+}
+
+}  // namespace
