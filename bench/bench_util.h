@@ -121,7 +121,8 @@ inline double RunSingleFile(ServerKind kind, size_t file_bytes, bool persistent,
 
 // CGI experiment (Figures 5 and 6).
 inline double RunCgi(ServerKind kind, size_t doc_bytes, bool persistent, int clients = 40,
-                     uint64_t requests = 4000) {
+                     uint64_t requests = 4000,
+                     iolhttp::CgiTransport transport = iolhttp::CgiTransport::kSimulatedPipe) {
   iolsys::SystemOptions options;
   options.checksum_cache = IsLite(kind);
   auto sys = std::make_unique<iolsys::System>(options);
@@ -129,7 +130,7 @@ inline double RunCgi(ServerKind kind, size_t doc_bytes, bool persistent, int cli
   std::unique_ptr<iolhttp::HttpServer> server;
   if (IsLite(kind)) {
     server = std::make_unique<iolhttp::LiteCgiServer>(&sys->ctx(), &sys->net(), &sys->io(),
-                                                      &sys->runtime(), doc_bytes);
+                                                      &sys->runtime(), doc_bytes, transport);
   } else {
     server = std::make_unique<iolhttp::CopyCgiServer>(&sys->ctx(), &sys->net(), &sys->io(),
                                                       doc_bytes, kind == ServerKind::kApache);

@@ -17,16 +17,22 @@ int main() {
   const std::vector<size_t> sizes = {500,       2 * 1024,  5 * 1024,   10 * 1024,
                                      20 * 1024, 50 * 1024, 100 * 1024, 200 * 1024};
 
-  iolbench::PrintHeader("Figure 5: HTTP/FastCGI bandwidth (Mb/s), nonpersistent",
-                        "size_kb\tFlash-Lite\tFlash\tApache\tlite_cgi/static\tflash_cgi/static");
+  iolbench::PrintHeader(
+      "Figure 5: HTTP/FastCGI bandwidth (Mb/s), nonpersistent",
+      "size_kb\tFlash-Lite\tFL-shm\tFlash\tApache\tlite_cgi/static\tflash_cgi/static");
   for (size_t size : sizes) {
     double lite_cgi = iolbench::RunCgi(ServerKind::kFlashLite, size, false);
+    // Same server over the real shared-memory ring transport (src/ipc):
+    // identical responses, payload crossing as descriptors.
+    double lite_cgi_shm = iolbench::RunCgi(ServerKind::kFlashLite, size, false, 40, 4000,
+                                           iolhttp::CgiTransport::kShmRing);
     double flash_cgi = iolbench::RunCgi(ServerKind::kFlash, size, false);
     double apache_cgi = iolbench::RunCgi(ServerKind::kApache, size, false);
     double lite_static = iolbench::RunSingleFile(ServerKind::kFlashLite, size, false);
     double flash_static = iolbench::RunSingleFile(ServerKind::kFlash, size, false);
-    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", size / 1024.0, lite_cgi, flash_cgi,
-                apache_cgi, lite_cgi / lite_static, flash_cgi / flash_static);
+    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", size / 1024.0, lite_cgi,
+                lite_cgi_shm, flash_cgi, apache_cgi, lite_cgi / lite_static,
+                flash_cgi / flash_static);
   }
   std::printf(
       "# paper: copy-based servers at ~half their static bandwidth; Flash-Lite CGI ~87%% of "

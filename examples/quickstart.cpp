@@ -35,9 +35,10 @@ int main() {
               static_cast<unsigned long long>(sys.ctx().stats().bytes_copied));
 
   // Aggregates mutate by pointer manipulation: prepend a header, truncate,
-  // split — the underlying buffers never change.
-  iolsim::DomainId srv = sys.ctx().vm().CreateDomain("quickstart-server");
-  iolite::BufferPool* pool = sys.runtime().CreatePool("hdr-pool", srv);
+  // split — the underlying buffers never change. The header pool belongs to
+  // the app domain: the writer of an aggregate must be able to read every
+  // byte it sends (conventional access control, Section 3.1).
+  iolite::BufferPool* pool = sys.runtime().CreatePool("hdr-pool", app);
   std::string header = "HTTP/1.0 200 OK\r\n\r\n";
   iolite::BufferRef hdr = pool->AllocateFrom(header.data(), header.size());
   doc.Prepend(iolite::Aggregate::FromBuffer(std::move(hdr)));
@@ -49,7 +50,7 @@ int main() {
 
   // Copy-free IPC: send the aggregate to another process through a pipe.
   iolsim::DomainId peer = sys.ctx().vm().CreateDomain("quickstart-peer");
-  iolite::PipeEnds pipe = iolite::MakePipe(&sys.runtime(), peer, srv);
+  iolite::PipeEnds pipe = iolite::MakePipe(&sys.runtime(), peer, app);
   iolite::IOL_write(&sys.runtime(), pipe.write_fd, doc);
   iolite::IOL_Agg received;
   iolite::IOL_read(&sys.runtime(), pipe.read_fd, &received, doc.size());

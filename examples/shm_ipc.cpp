@@ -1,0 +1,153 @@
+// Shared-memory zero-copy IPC across a real process boundary.
+//
+// The simulated PipeChannel *models* the paper's copy-free IPC with charged
+// costs; this example runs the real thing (src/ipc): a producer process
+// seals IO-Lite aggregates into a shared region and publishes them as
+// 32-byte descriptors through a lock-free SPSC ring, and a fork()ed consumer
+// process reads every payload byte through its own mapping of the region.
+// Nothing is copied on either side — the producer's stats counters and the
+// consumer's verification both demonstrate it.
+//
+// The region prefers POSIX shm_open (attachable by name from unrelated
+// processes) and falls back to an anonymous MAP_SHARED mapping, which the
+// fork()ed child still shares — so the demo runs even in sandboxes without
+// /dev/shm.
+//
+// Run:  ./build/example_shm_ipc
+
+#include <sched.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/ipc/ring_channel.h"
+#include "src/ipc/shm_pool.h"
+#include "src/ipc/shm_region.h"
+#include "src/simos/sim_context.h"
+
+namespace {
+
+constexpr uint64_t kAggregates = 2000;
+constexpr size_t kDocBytes = 16 * 1024;
+
+// Deterministic document byte so the consumer can verify without any side
+// channel.
+char DocByte(uint64_t doc, size_t i) {
+  return static_cast<char>('a' + (doc * 7 + i * 131 + i / 97) % 26);
+}
+
+// The consumer process: attaches to the ring through the shared mapping and
+// verifies every byte in place. Its exit code is the verdict.
+int RunConsumer(iolipc::ShmRegion* region, uint64_t ring_offset) {
+  iolipc::RingChannel ring = iolipc::RingChannel::Attach(region, ring_offset);
+  if (!ring.valid()) {
+    return 2;
+  }
+  uint64_t docs = 0;
+  uint64_t bytes = 0;
+  while (true) {
+    iolipc::SliceDesc d{};
+    if (ring.TryPeekSlice(&d)) {
+      // Zero-copy read: the payload is inspected where the producer sealed
+      // it; only the 32-byte descriptor crossed the ring. The pop is
+      // committed only after the last byte is read — committing is what
+      // licenses the producer to recycle the buffer.
+      const char* p = region->At(d.offset);
+      for (size_t i = 0; i < d.length; ++i) {
+        if (p[i] != DocByte(docs, i)) {
+          std::fprintf(stderr, "consumer: corruption in doc %llu at byte %zu\n",
+                       static_cast<unsigned long long>(docs), i);
+          return 1;
+        }
+      }
+      bytes += d.length;
+      if ((d.flags & iolipc::kFrameEnd) != 0) {
+        ++docs;
+      }
+      ring.CommitPop();
+    } else if (ring.drained()) {
+      break;
+    } else {
+      sched_yield();
+    }
+  }
+  std::printf("consumer (pid %d): verified %llu aggregates, %llu bytes, 0 copies\n", getpid(),
+              static_cast<unsigned long long>(docs), static_cast<unsigned long long>(bytes));
+  std::fflush(stdout);  // The caller _exit()s; flush or lose the report.
+  return docs == kAggregates ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  // Region sized for the ring plus a working set of documents; the pool
+  // recycles buffers as the consumer drains them, so steady state reuses a
+  // handful of extents no matter how many aggregates cross.
+  auto region = iolipc::ShmRegion::Create(8 << 20, "/iolite-shm-ipc-demo");
+  if (region == nullptr) {
+    std::fprintf(stderr, "mmap failed; no shared memory available\n");
+    return 1;
+  }
+  std::printf("region: %zu MB via %s\n", region->size() >> 20,
+              region->posix_shm_backed() ? "shm_open(/iolite-shm-ipc-demo)"
+                                         : "anonymous MAP_SHARED (fork-shared fallback)");
+
+  iolipc::RingChannel ring = iolipc::RingChannel::Create(region.get(), 64);
+
+  std::fflush(stdout);  // Don't duplicate buffered output into the child.
+  pid_t child = fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (child == 0) {
+    _exit(RunConsumer(region.get(), ring.state_offset()));
+  }
+
+  // Producer process: seal documents into the region, publish descriptors.
+  iolsim::SimContext ctx;
+  iolsim::DomainId producer = ctx.vm().CreateDomain("producer");
+  iolipc::ShmPool pool(&ctx, "demo-pool", producer, region.get());
+  iolipc::ShmStream stream(&ctx, &pool, ring);
+
+  for (uint64_t doc = 0; doc < kAggregates; ++doc) {
+    iolite::BufferRef b = pool.Allocate(kDocBytes);
+    char* dst = b->writable_data();
+    for (size_t i = 0; i < kDocBytes; ++i) {
+      dst[i] = DocByte(doc, i);
+    }
+    b->Seal(kDocBytes);
+    iolite::Aggregate agg = iolite::Aggregate::FromBuffer(std::move(b));
+    while (stream.Write(producer, agg) == 0) {
+      sched_yield();  // Ring full: wait for the consumer to catch up.
+    }
+  }
+  stream.CloseWriteEnd();
+
+  int status = 0;
+  if (waitpid(child, &status, 0) != child || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "consumer failed (status %d)\n", status);
+    return 1;
+  }
+
+  const iolsim::SimStats& s = ctx.stats();
+  std::printf("producer (pid %d): %llu aggregates, %llu bytes by reference\n", getpid(),
+              static_cast<unsigned long long>(s.ipc_frames_sent),
+              static_cast<unsigned long long>(s.ipc_bytes_transferred));
+  std::printf("payload bytes copied by the transport: %llu (zero-copy)\n",
+              static_cast<unsigned long long>(s.ipc_bytes_copied));
+  std::printf("descriptor bytes through the ring:     %llu (%zu per aggregate)\n",
+              static_cast<unsigned long long>(s.ipc_desc_bytes), sizeof(iolipc::SliceDesc));
+  std::printf("ring-full stalls: %llu, buffers recycled: %llu, region used: %llu KB\n",
+              static_cast<unsigned long long>(s.ipc_ring_full_events),
+              static_cast<unsigned long long>(s.buffers_recycled),
+              static_cast<unsigned long long>(region->bytes_used() >> 10));
+  if (s.ipc_bytes_copied != 0) {
+    std::fprintf(stderr, "FAILED: transport copied payload bytes\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

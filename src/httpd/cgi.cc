@@ -1,5 +1,8 @@
 #include "src/httpd/cgi.h"
 
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace iolhttp {
@@ -24,10 +27,9 @@ void CopyCgiProcess::ProduceResponse(iolposix::PosixPipe* pipe) {
 // --- LiteCgiProcess ---------------------------------------------------------
 
 LiteCgiProcess::LiteCgiProcess(iolsim::SimContext* ctx, iolite::IoLiteRuntime* runtime,
-                               size_t doc_bytes)
+                               size_t doc_bytes, iolipc::ShmRegion* region)
     : ctx_(ctx) {
   domain_ = ctx_->vm().CreateDomain("cgi-process");
-  pool_ = runtime->CreatePool("cgi-pool", domain_);
   // Build the cached document once: generation cost paid here, after which
   // the same immutable buffers are reused for every request (the "caching
   // CGI program" of Section 3.10).
@@ -35,7 +37,15 @@ LiteCgiProcess::LiteCgiProcess(iolsim::SimContext* ctx, iolite::IoLiteRuntime* r
   for (size_t i = 0; i < doc_bytes; ++i) {
     bytes[i] = static_cast<char>('A' + (i * 131) % 26);
   }
-  iolite::BufferRef buffer = pool_->AllocateFrom(bytes.data(), doc_bytes);
+  iolite::BufferRef buffer;
+  if (region != nullptr) {
+    shm_pool_ = std::make_unique<iolipc::ShmPool>(ctx, "cgi-shm-pool", domain_, region);
+    pool_ = nullptr;
+    buffer = shm_pool_->AllocateFrom(bytes.data(), doc_bytes);
+  } else {
+    pool_ = runtime->CreatePool("cgi-pool", domain_);
+    buffer = pool_->AllocateFrom(bytes.data(), doc_bytes);
+  }
   doc_ = iolite::Aggregate::FromBuffer(std::move(buffer));
 }
 
@@ -45,6 +55,17 @@ void LiteCgiProcess::ProduceResponse(iolite::PipeChannel* channel) {
   ctx_->ChargeCpu(ctx_->cost().SyscallCost());
   ctx_->stats().syscalls++;
   channel->Push(doc_);
+}
+
+void LiteCgiProcess::ProduceResponse(iolipc::ShmStream* stream) {
+  ctx_->ChargeCpu(ctx_->cost().params().cgi_request_cpu);
+  // Same syscall surface as the simulated pipe; the payload crosses the
+  // ring as descriptors only (the document is region-resident).
+  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+  ctx_->stats().syscalls++;
+  size_t pushed = stream->Write(domain_, doc_);
+  assert(pushed == doc_.size() && "CGI ring sized to always accept one document");
+  (void)pushed;
 }
 
 // --- CopyCgiServer ----------------------------------------------------------
@@ -80,28 +101,70 @@ size_t CopyCgiServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId /
 
 // --- LiteCgiServer ----------------------------------------------------------
 
+namespace {
+
+// Region sized for the cached document (chunk-rounded) plus ring state and
+// slack for staging; only used on the kShmRing transport.
+std::unique_ptr<iolipc::ShmRegion> MakeCgiRegion(iolsim::SimContext* ctx, size_t doc_bytes,
+                                                 CgiTransport transport) {
+  if (transport != CgiTransport::kShmRing) {
+    return nullptr;
+  }
+  size_t chunk = static_cast<size_t>(ctx->cost().params().chunk_size);
+  size_t doc_span = (doc_bytes + chunk - 1) / chunk * chunk;
+  auto region = iolipc::ShmRegion::Create(doc_span + 4 * chunk);
+  if (region == nullptr) {
+    // No error path out of the constructor chain; dying loudly beats the
+    // null dereference a release build would otherwise hit.
+    std::fprintf(stderr, "LiteCgiServer: mmap failed for %zu-byte CGI shm region\n",
+                 doc_span + 4 * chunk);
+    std::abort();
+  }
+  return region;
+}
+
+constexpr uint32_t kCgiRingSlots = 256;
+
+}  // namespace
+
 LiteCgiServer::LiteCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
                              iolfs::FileIoService* io, iolite::IoLiteRuntime* runtime,
-                             size_t doc_bytes)
+                             size_t doc_bytes, CgiTransport transport)
     : HttpServer(ctx, net, io),
       runtime_(runtime),
-      cgi_(ctx, runtime, doc_bytes),
+      transport_(transport),
+      region_(MakeCgiRegion(ctx, doc_bytes, transport)),
+      cgi_(ctx, runtime, doc_bytes, region_.get()),
       channel_(std::make_shared<iolite::PipeChannel>(ctx)) {
   server_domain_ = ctx_->vm().CreateDomain("flash-lite-cgi");
   header_pool_ = runtime_->CreatePool("flash-lite-cgi-headers", server_domain_);
+  if (transport_ == CgiTransport::kShmRing) {
+    stream_ = std::make_unique<iolipc::ShmStream>(
+        ctx_, cgi_.shm_pool(), iolipc::RingChannel::Create(region_.get(), kCgiRingSlots));
+  }
 }
 
 size_t LiteCgiServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId /*file*/) {
   ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
   conn->ReceiveRequest(kRequestBytes);
 
-  // CGI produces into the pipe by reference...
-  cgi_.ProduceResponse(channel_.get());
-  // ...the server IOL_reads the aggregate out: one syscall plus mapping of
-  // any cold chunks into the server domain (first request only).
-  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-  ctx_->stats().syscalls++;
-  iolite::Aggregate body = channel_->Pop(SIZE_MAX);
+  // CGI produces into the channel by reference...
+  iolite::Aggregate body;
+  if (transport_ == CgiTransport::kShmRing) {
+    cgi_.ProduceResponse(stream_.get());
+    // ...the server IOL_reads the aggregate out of the ring: one syscall,
+    // descriptor resolution, zero payload bytes touched.
+    ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+    ctx_->stats().syscalls++;
+    body = stream_->Read(server_domain_, SIZE_MAX);
+  } else {
+    cgi_.ProduceResponse(channel_.get());
+    // ...the server IOL_reads the aggregate out: one syscall plus mapping of
+    // any cold chunks into the server domain (first request only).
+    ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+    ctx_->stats().syscalls++;
+    body = channel_->Pop(SIZE_MAX);
+  }
   runtime_->MapAggregate(body, server_domain_);
 
   char header[kResponseHeaderBytes];
@@ -115,6 +178,9 @@ size_t LiteCgiServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId /
 
   iolite::Aggregate response = iolite::Aggregate::FromBuffer(std::move(hbuf));
   response.Append(body);
+  if (capture_responses_) {
+    last_response_ = response;
+  }
 
   ctx_->ChargeCpu(ctx_->cost().SyscallCost());
   ctx_->stats().syscalls++;

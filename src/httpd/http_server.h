@@ -19,7 +19,9 @@
 #ifndef SRC_HTTPD_HTTP_SERVER_H_
 #define SRC_HTTPD_HTTP_SERVER_H_
 
+#include <cassert>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -59,19 +61,21 @@ class HttpServer {
  protected:
   // Builds a plausible response header into `buf` (real bytes, so checksums
   // over it are real). Returns the header length (kResponseHeaderBytes).
+  // The header terminates with the blank line ("\r\n\r\n") that separates it
+  // from the body; an X-Pad comment header absorbs the padding.
   size_t BuildHeader(char* buf, uint64_t content_length) const {
     int n = std::snprintf(buf, kResponseHeaderBytes,
                           "HTTP/1.0 200 OK\r\n"
                           "Server: iolite-sim/1.0\r\n"
                           "Content-Type: text/html\r\n"
-                          "Content-Length: %llu\r\n",
+                          "Content-Length: %llu\r\n"
+                          "X-Pad: ",
                           static_cast<unsigned long long>(content_length));
-    // Pad to the nominal header size with a comment header.
-    for (size_t i = n; i < kResponseHeaderBytes - 2; ++i) {
+    assert(n > 0 && static_cast<size_t>(n) <= kResponseHeaderBytes - 4);
+    for (size_t i = n; i < kResponseHeaderBytes - 4; ++i) {
       buf[i] = 'x';
     }
-    buf[kResponseHeaderBytes - 2] = '\r';
-    buf[kResponseHeaderBytes - 1] = '\n';
+    std::memcpy(buf + kResponseHeaderBytes - 4, "\r\n\r\n", 4);
     return kResponseHeaderBytes;
   }
 

@@ -1,6 +1,8 @@
 #include "src/iolite/buffer_pool.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace iolite {
@@ -24,8 +26,9 @@ void Buffer::Release() {
 
 const std::vector<iolsim::ChunkId>& Buffer::chunks() const { return pool_->ChunksOf(*this); }
 
-BufferPool::BufferPool(iolsim::SimContext* ctx, std::string name, iolsim::DomainId producer)
-    : ctx_(ctx), name_(std::move(name)), producer_(producer) {
+BufferPool::BufferPool(iolsim::SimContext* ctx, std::string name, iolsim::DomainId producer,
+                       ExtentSource* extent_source)
+    : ctx_(ctx), name_(std::move(name)), producer_(producer), extent_source_(extent_source) {
   next_buffer_id_ = next_pool_seed_ << 32;
   next_pool_seed_++;
 }
@@ -47,7 +50,19 @@ size_t BufferPool::NewExtent(size_t n) {
   }
   Extent e;
   e.size = chunk_count * chunk_size;
-  e.storage = std::make_unique<char[]>(e.size);
+  if (extent_source_ != nullptr) {
+    e.data = extent_source_->AllocateExtent(e.size);
+    if (e.data == nullptr) {
+      // There is no error path out of Allocate; dying loudly beats handing
+      // out a buffer over invalid memory (NDEBUG builds included).
+      std::fprintf(stderr, "BufferPool '%s': extent source exhausted carving %zu bytes\n",
+                   name_.c_str(), e.size);
+      std::abort();
+    }
+  } else {
+    e.owned = std::make_unique<char[]>(e.size);
+    e.data = e.owned.get();
+  }
   for (size_t i = 0; i < chunk_count; ++i) {
     e.chunks.push_back(ctx_->vm().AllocateChunk(producer_));
   }
@@ -78,7 +93,7 @@ Buffer* BufferPool::CarveBuffer(size_t n) {
     offset = extents_[extent_index].bump;
     extents_[extent_index].bump += n;
   }
-  char* data = extents_[extent_index].storage.get() + offset;
+  char* data = extents_[extent_index].data + offset;
   auto buffer = std::unique_ptr<Buffer>(
       new Buffer(this, next_buffer_id_++, data, n, extent_index, producer_));
   Buffer* raw = buffer.get();

@@ -28,11 +28,28 @@
 
 namespace iolite {
 
+// Pluggable backing store for pool extents. The default pool backs extents
+// with private heap storage; a shared-memory pool (src/ipc) backs them with
+// stable-offset carve-outs of an mmap'd region, which is what lets an
+// aggregate be described as (offset, len) pairs valid in any process that
+// maps the region.
+class ExtentSource {
+ public:
+  virtual ~ExtentSource() = default;
+
+  // Returns `n` bytes of storage that stays valid for the source's lifetime,
+  // or nullptr when the source is exhausted.
+  virtual char* AllocateExtent(size_t n) = 0;
+};
+
 class BufferPool {
  public:
   // `producer` is the domain that fills buffers allocated here; the kernel
-  // (domain 0) is trusted and skips write-permission toggling.
-  BufferPool(iolsim::SimContext* ctx, std::string name, iolsim::DomainId producer);
+  // (domain 0) is trusted and skips write-permission toggling. When
+  // `extent_source` is non-null, extent storage is carved from it instead of
+  // the heap (it must outlive the pool).
+  BufferPool(iolsim::SimContext* ctx, std::string name, iolsim::DomainId producer,
+             ExtentSource* extent_source = nullptr);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -73,7 +90,8 @@ class BufferPool {
  private:
   struct Extent {
     std::vector<iolsim::ChunkId> chunks;
-    std::unique_ptr<char[]> storage;
+    char* data = nullptr;             // Start of the extent's storage.
+    std::unique_ptr<char[]> owned;    // Heap backing (null when external).
     size_t size = 0;
     size_t bump = 0;  // Next free offset for small carving.
   };
@@ -89,6 +107,7 @@ class BufferPool {
   iolsim::SimContext* ctx_;
   std::string name_;
   iolsim::DomainId producer_;
+  ExtentSource* extent_source_;  // Not owned; null for heap-backed pools.
 
   std::vector<Extent> extents_;
   std::vector<std::unique_ptr<Buffer>> all_buffers_;

@@ -1,0 +1,233 @@
+#include "src/ipc/ring_channel.h"
+
+#include <cassert>
+#include <vector>
+
+namespace iolipc {
+
+namespace {
+constexpr uint32_t kRingMagic = 0x52494e47;  // "RING"
+
+bool IsPowerOfTwo(uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+RingChannel RingChannel::Create(ShmRegion* region, uint32_t capacity) {
+  assert(IsPowerOfTwo(capacity) && "ring capacity must be a power of two");
+  char* storage =
+      region->AllocateExtent(sizeof(RingState) + capacity * sizeof(SliceDesc));
+  if (storage == nullptr) {
+    return RingChannel{};
+  }
+  auto* state = new (storage) RingState{};
+  state->magic = kRingMagic;
+  state->capacity = capacity;
+  state->tail.store(0, std::memory_order_relaxed);
+  state->head.store(0, std::memory_order_relaxed);
+  state->bytes_queued.store(0, std::memory_order_relaxed);
+  state->closed.store(0, std::memory_order_relaxed);
+
+  RingChannel ch;
+  ch.region_ = region;
+  ch.state_ = state;
+  ch.slots_ = reinterpret_cast<SliceDesc*>(storage + sizeof(RingState));
+  ch.mask_ = capacity - 1;
+  return ch;
+}
+
+RingChannel RingChannel::Attach(ShmRegion* region, uint64_t state_offset) {
+  // This is the cross-process trust boundary: nothing in the header may be
+  // believed until it is bounds-checked against the mapping.
+  if (region->size() < sizeof(RingState) || state_offset > region->size() - sizeof(RingState)) {
+    return RingChannel{};
+  }
+  auto* state = reinterpret_cast<RingState*>(region->At(state_offset));
+  if (state->magic != kRingMagic || !IsPowerOfTwo(state->capacity)) {
+    return RingChannel{};
+  }
+  uint64_t slots_bytes = static_cast<uint64_t>(state->capacity) * sizeof(SliceDesc);
+  if (slots_bytes > region->size() - sizeof(RingState) - state_offset) {
+    return RingChannel{};  // Corrupt capacity: slot array would leave the region.
+  }
+  RingChannel ch;
+  ch.region_ = region;
+  ch.state_ = state;
+  ch.slots_ = reinterpret_cast<SliceDesc*>(region->At(state_offset) + sizeof(RingState));
+  ch.mask_ = state->capacity - 1;
+  // Start from the published indices; the caches catch up lazily.
+  ch.cached_head_ = state->head.load(std::memory_order_acquire);
+  ch.cached_tail_ = state->tail.load(std::memory_order_acquire);
+  return ch;
+}
+
+uint64_t RingChannel::state_offset() const {
+  return region_->OffsetOf(reinterpret_cast<const char*>(state_));
+}
+
+bool RingChannel::CanAccept(uint32_t n) {
+  assert(valid());
+  if (n > state_->capacity) {
+    return false;  // Frame can never fit.
+  }
+  uint64_t tail = state_->tail.load(std::memory_order_relaxed);
+  if (state_->capacity - (tail - cached_head_) < n) {
+    cached_head_ = state_->head.load(std::memory_order_acquire);
+  }
+  return state_->capacity - (tail - cached_head_) >= n;
+}
+
+bool RingChannel::TryPushFrame(const SliceDesc* descs, uint32_t n) {
+  assert(valid());
+  assert(n > 0);
+  if (!CanAccept(n)) {
+    return false;
+  }
+  uint64_t tail = state_->tail.load(std::memory_order_relaxed);
+  uint64_t payload = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    slots_[(tail + i) & mask_] = descs[i];
+    payload += descs[i].length;
+  }
+  state_->bytes_queued.fetch_add(payload, std::memory_order_relaxed);
+  // Publish the whole frame with one release store: the consumer acquiring
+  // `tail` is guaranteed to see the slot contents (and, transitively, the
+  // sealed payload bytes the descriptors name).
+  state_->tail.store(tail + n, std::memory_order_release);
+  return true;
+}
+
+bool RingChannel::TryPopSlice(SliceDesc* out) {
+  if (!TryPeekSlice(out)) {
+    return false;
+  }
+  CommitPop();
+  return true;
+}
+
+bool RingChannel::TryPeekSlice(SliceDesc* out) {
+  assert(valid());
+  uint64_t head = state_->head.load(std::memory_order_relaxed);
+  if (head == cached_tail_) {
+    cached_tail_ = state_->tail.load(std::memory_order_acquire);
+    if (head == cached_tail_) {
+      return false;
+    }
+  }
+  *out = slots_[head & mask_];
+  return true;
+}
+
+void RingChannel::CommitPop() {
+  assert(valid());
+  uint64_t head = state_->head.load(std::memory_order_relaxed);
+  assert(head != state_->tail.load(std::memory_order_acquire) && "commit without peek");
+  state_->bytes_queued.fetch_sub(slots_[head & mask_].length, std::memory_order_relaxed);
+  // Release: the producer acquiring `head` may now recycle slot and payload.
+  state_->head.store(head + 1, std::memory_order_release);
+}
+
+uint64_t RingChannel::consumed() const {
+  return state_->head.load(std::memory_order_acquire);
+}
+
+uint64_t RingChannel::published() const {
+  return state_->tail.load(std::memory_order_acquire);
+}
+
+uint64_t RingChannel::bytes_queued() const {
+  return state_->bytes_queued.load(std::memory_order_relaxed);
+}
+
+uint32_t RingChannel::slots_used() {
+  uint64_t tail = state_->tail.load(std::memory_order_acquire);
+  uint64_t head = state_->head.load(std::memory_order_acquire);
+  return static_cast<uint32_t>(tail - head);
+}
+
+void RingChannel::Close() { state_->closed.store(1, std::memory_order_release); }
+
+bool RingChannel::closed() const { return state_->closed.load(std::memory_order_acquire) != 0; }
+
+bool RingChannel::drained() { return closed() && slots_used() == 0; }
+
+// --- ShmStream --------------------------------------------------------------
+
+size_t ShmStream::Write(iolsim::DomainId /*writer*/, const iolite::Aggregate& agg) {
+  if (agg.empty()) {
+    return 0;
+  }
+  assert(pool_ != nullptr && "write side needs a pool for descriptor conversion");
+  uint32_t n = static_cast<uint32_t>(agg.slice_count());
+  if (!ring_.CanAccept(n)) {
+    // Backpressure: the caller drains the consumer (same process) or retries
+    // after the peer catches up (separate process). Nothing was pinned.
+    ctx_->stats().ipc_ring_full_events++;
+    return 0;
+  }
+
+  descs_.clear();
+  descs_.reserve(agg.slice_count());
+  for (const iolite::Slice& s : agg.slices()) {
+    if (pool_->Resident(s)) {
+      // Warm path: the payload already lives in the region; only the
+      // descriptor crosses. Zero bytes of payload are touched.
+      descs_.push_back(pool_->DescribeAndPin(s));
+      ctx_->stats().ipc_bytes_transferred += s.length();
+    } else {
+      // Foreign slice (another pool / heap): stage it into the region once.
+      // AllocateFrom charges the copy cost and bumps bytes_copied.
+      iolite::BufferRef staged = pool_->AllocateFrom(s.data(), s.length());
+      ctx_->stats().ipc_bytes_copied += s.length();
+      descs_.push_back(pool_->DescribeAndPin(iolite::Slice(staged, 0, s.length())));
+    }
+  }
+  descs_.back().flags |= kFrameEnd;
+
+  // The descriptors themselves are the only per-slice cost of a transfer.
+  uint64_t desc_bytes = static_cast<uint64_t>(n) * sizeof(SliceDesc);
+  ctx_->ChargeCpu(ctx_->cost().CopyCost(desc_bytes));
+  ctx_->stats().ipc_desc_bytes += desc_bytes;
+  ctx_->stats().ipc_slices_sent += n;
+  ctx_->stats().ipc_frames_sent++;
+
+  bool ok = ring_.TryPushFrame(descs_.data(), n);
+  assert(ok && "CanAccept raced in SPSC ring");
+  (void)ok;
+  for (uint32_t i = 0; i < n; ++i) {
+    in_flight_.emplace_back(pushed_slots_ + i, descs_[i].ticket);
+  }
+  pushed_slots_ += n;
+  ReclaimConsumed();
+  return agg.size();
+}
+
+void ShmStream::ReclaimConsumed() {
+  uint64_t consumed = ring_.consumed();
+  while (!in_flight_.empty() && in_flight_.front().first < consumed) {
+    pool_->Unpin(in_flight_.front().second);
+    in_flight_.pop_front();
+  }
+}
+
+iolite::Aggregate ShmStream::Read(iolsim::DomainId /*reader*/, size_t max_bytes) {
+  assert(pool_ != nullptr && "same-process read side needs the pool for pin resolution");
+  SliceDesc d;
+  while (pending_.size() < max_bytes && ring_.TryPopSlice(&d)) {
+    pending_.Append(pool_->ResolveAndUnpin(d));
+    if ((d.flags & kFrameEnd) != 0) {
+      ctx_->stats().ipc_frames_received++;
+    }
+  }
+  if (pending_.size() <= max_bytes) {
+    iolite::Aggregate out = std::move(pending_);
+    pending_ = iolite::Aggregate{};
+    return out;
+  }
+  iolite::Aggregate rest = pending_.SplitOff(max_bytes);
+  iolite::Aggregate out = std::move(pending_);
+  pending_ = std::move(rest);
+  return out;
+}
+
+size_t ShmStream::ReadableBytes() const { return pending_.size() + ring_.bytes_queued(); }
+
+}  // namespace iolipc

@@ -1,0 +1,165 @@
+// Lock-free SPSC descriptor ring over a shared region, plus the ShmStream
+// adapter that makes it an iolite::Stream.
+//
+// The ring is the control plane of the zero-copy transport: a power-of-two
+// array of 32-byte SliceDescs with free-running head/tail counters. The
+// producer publishes with a release store of tail, the consumer with a
+// release store of head; each side keeps a *cached* copy of the other's
+// index (zeroipc-style) and re-reads the shared atomic only when the cache
+// says the ring looks full/empty, so steady-state transfers touch a single
+// shared cache line per side. Everything the ring stores is a trivially
+// copyable descriptor — the payload named by the descriptors never moves.
+//
+// RingChannel is a handle: the shared state (RingState) lives inside the
+// region at a stable offset, so a second process can Attach() to the same
+// ring after mapping the region.
+
+#ifndef SRC_IPC_RING_CHANNEL_H_
+#define SRC_IPC_RING_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/iolite/stream.h"
+#include "src/ipc/shm_pool.h"
+#include "src/ipc/slice_desc.h"
+#include "src/simos/sim_context.h"
+
+namespace iolipc {
+
+class RingChannel {
+ public:
+  // Shared ring state, resident in the region. 64-byte alignment keeps the
+  // producer-written and consumer-written lines from false sharing.
+  struct RingState {
+    uint32_t magic;
+    uint32_t capacity;  // Slot count; power of two.
+    alignas(64) std::atomic<uint64_t> tail;          // Producer-owned.
+    alignas(64) std::atomic<uint64_t> head;          // Consumer-owned.
+    alignas(64) std::atomic<uint64_t> bytes_queued;  // Payload bytes in flight.
+    std::atomic<uint32_t> closed;
+  };
+
+  RingChannel() = default;
+
+  // Carves ring state + `capacity` slots (power of two) out of `region`.
+  // Returns an invalid channel if the region is exhausted.
+  static RingChannel Create(ShmRegion* region, uint32_t capacity);
+
+  // Adopts the ring whose RingState sits at `state_offset` in `region`
+  // (obtained from state_offset() in the creating process).
+  static RingChannel Attach(ShmRegion* region, uint64_t state_offset);
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t state_offset() const;
+  uint32_t capacity() const { return state_->capacity; }
+
+  // --- Producer side -------------------------------------------------------
+
+  // True if a frame of `n` descriptors currently fits.
+  bool CanAccept(uint32_t n);
+
+  // Publishes `n` descriptors as one frame, all-or-nothing. The frame
+  // becomes visible to the consumer atomically (single tail store).
+  bool TryPushFrame(const SliceDesc* descs, uint32_t n);
+
+  // Absolute count of slots the consumer has committed. The producer uses
+  // this to learn which in-flight payloads are fully consumed and may be
+  // recycled (see ShmStream::ReclaimConsumed).
+  uint64_t consumed() const;
+
+  // Absolute count of slots ever published (the producer's tail).
+  uint64_t published() const;
+
+  // --- Consumer side -------------------------------------------------------
+
+  // Pops one descriptor; returns false when the ring is empty. Equivalent to
+  // TryPeekSlice + CommitPop: use the two-step form when the payload is read
+  // in place, so the producer cannot recycle it mid-read.
+  bool TryPopSlice(SliceDesc* out);
+
+  // Reads the descriptor at the head without advancing it.
+  bool TryPeekSlice(SliceDesc* out);
+
+  // Advances the head past the last peeked descriptor, signalling to the
+  // producer that its payload is no longer referenced by this consumer.
+  void CommitPop();
+
+  // --- Shared ---------------------------------------------------------------
+
+  uint64_t bytes_queued() const;
+  uint32_t slots_used();
+  void Close();
+  bool closed() const;
+  // End-of-stream: writer closed and every descriptor consumed.
+  bool drained();
+
+ private:
+  ShmRegion* region_ = nullptr;
+  RingState* state_ = nullptr;
+  SliceDesc* slots_ = nullptr;
+  uint32_t mask_ = 0;
+  // Locally cached copies of the *other* side's index; refreshed from the
+  // shared atomic only when the ring looks full (producer) or empty
+  // (consumer).
+  uint64_t cached_head_ = 0;
+  uint64_t cached_tail_ = 0;
+};
+
+// iolite::Stream adapter: IOL_read / IOL_write work unchanged over a shared
+// ring. Write converts an aggregate into a descriptor frame — region-resident
+// slices go through untouched (ipc_bytes_transferred), foreign slices are
+// staged into the region once (ipc_bytes_copied) — and Read reassembles
+// aggregates from descriptors, splitting at max_bytes like a pipe.
+//
+// The pool is required on the write side (descriptor conversion) and on a
+// same-process read side (pin resolution). A foreign process reads payload
+// through its own region mapping instead of a ShmStream.
+//
+// Threading: like everything holding a SimContext, a ShmStream (and the
+// ShmPool pin table it shares) is single-threaded — use it from one thread
+// and let the RingChannel carry the data to the peer thread or process.
+// Cross-thread/-process consumers drive RingChannel directly (peek/commit),
+// as the threaded and fork tests and examples/shm_ipc.cpp do.
+class ShmStream : public iolite::Stream {
+ public:
+  ShmStream(iolsim::SimContext* ctx, ShmPool* pool, RingChannel ring)
+      : ctx_(ctx), pool_(pool), ring_(ring), pushed_slots_(ring_.published()) {}
+
+  iolite::Aggregate Read(iolsim::DomainId reader, size_t max_bytes) override;
+  size_t Write(iolsim::DomainId writer, const iolite::Aggregate& agg) override;
+  size_t ReadableBytes() const override;
+
+  // Unpins every in-flight buffer whose ring slot the consumer has
+  // committed past, letting the pool recycle it. Called automatically on
+  // each Write; a producer facing a foreign-process consumer (which cannot
+  // touch the pin table) may also call it directly. Safe alongside the
+  // same-process Read path, whose pins are already gone (Unpin is
+  // idempotent).
+  void ReclaimConsumed();
+
+  void CloseWriteEnd() { ring_.Close(); }
+  RingChannel& ring() { return ring_; }
+
+ private:
+  iolsim::SimContext* ctx_;
+  ShmPool* pool_;
+  RingChannel ring_;
+  // Descriptors popped but not yet returned (a frame can exceed max_bytes).
+  iolite::Aggregate pending_;
+  // (absolute slot index, ticket) of every descriptor this stream pushed,
+  // oldest first, until reclaimed. pushed_slots_ starts at the ring's
+  // current tail so attaching to a ring with prior traffic cannot reclaim
+  // someone else's in-flight slots.
+  std::deque<std::pair<uint64_t, uint64_t>> in_flight_;
+  uint64_t pushed_slots_;
+  // Reused descriptor scratch: keeps the warm Write path allocation-free.
+  std::vector<SliceDesc> descs_;
+};
+
+}  // namespace iolipc
+
+#endif  // SRC_IPC_RING_CHANNEL_H_

@@ -1,0 +1,29 @@
+#include "src/ipc/shm_pool.h"
+
+namespace iolipc {
+
+SliceDesc ShmPool::DescribeAndPin(const iolite::Slice& s) {
+  assert(Resident(s) && "slice does not live in this pool's region");
+  SliceDesc d;
+  d.offset = region_->OffsetOf(s.data());
+  d.length = s.length();
+  d.ticket = next_ticket_++;
+  d.flags = 0;
+  d.reserved = 0;
+  pinned_.emplace(d.ticket, s);
+  return d;
+}
+
+iolite::Slice ShmPool::ResolveAndUnpin(const SliceDesc& d) {
+  auto it = pinned_.find(d.ticket);
+  assert(it != pinned_.end() && "descriptor was not pinned by this pool");
+  iolite::Slice s = it->second;
+  pinned_.erase(it);
+  assert(region_->OffsetOf(s.data()) == d.offset && s.length() == d.length &&
+         "descriptor does not match pinned slice");
+  return s;
+}
+
+void ShmPool::Unpin(uint64_t ticket) { pinned_.erase(ticket); }
+
+}  // namespace iolipc

@@ -1,0 +1,79 @@
+// A BufferPool whose storage lives at stable offsets in a shared region.
+//
+// ShmPool composes a ShmRegion with an iolite::BufferPool that carves its
+// extents from the region (ExtentSource). Everything upstream —
+// Buffer/Slice/Aggregate, sealing, refcounting, generation numbers, the
+// simulated VM accounting — works unchanged; what the region adds is that
+// every slice of every buffer is *region-resident*: describable as an
+// (offset, len) SliceDesc that any process mapping the region can turn back
+// into a pointer. That is the property that makes a ring transfer zero-copy.
+//
+// Buffer lifetime across a transfer is handled with a pin table: describing
+// a slice for transmission pins its BufferRef under a ticket; resolving the
+// descriptor on the consumer side (same process) unpins it. A buffer can
+// therefore never be recycled while its bytes sit unconsumed in a ring.
+
+#ifndef SRC_IPC_SHM_POOL_H_
+#define SRC_IPC_SHM_POOL_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/iolite/buffer_pool.h"
+#include "src/iolite/slice.h"
+#include "src/ipc/shm_region.h"
+#include "src/ipc/slice_desc.h"
+
+namespace iolipc {
+
+class ShmPool {
+ public:
+  // `region` must outlive the pool.
+  ShmPool(iolsim::SimContext* ctx, std::string name, iolsim::DomainId producer,
+          ShmRegion* region)
+      : region_(region), pool_(ctx, std::move(name), producer, region) {}
+
+  ShmPool(const ShmPool&) = delete;
+  ShmPool& operator=(const ShmPool&) = delete;
+
+  ShmRegion* region() const { return region_; }
+  iolite::BufferPool& pool() { return pool_; }
+
+  // --- BufferPool-compatible allocation surface ----------------------------
+
+  iolite::BufferRef Allocate(size_t n) { return pool_.Allocate(n); }
+  iolite::BufferRef AllocateFrom(const void* src, size_t n) { return pool_.AllocateFrom(src, n); }
+  iolite::BufferRef AllocateDma(uint64_t seed, size_t n) { return pool_.AllocateDma(seed, n); }
+
+  // --- Descriptor conversion ----------------------------------------------
+
+  // True when the slice's bytes live inside this pool's region, i.e. it can
+  // cross the ring without its payload being touched.
+  bool Resident(const iolite::Slice& s) const {
+    return region_->Contains(s.data(), s.length());
+  }
+
+  // Names `s` as a region descriptor and pins its buffer until the
+  // descriptor is resolved. Requires Resident(s).
+  SliceDesc DescribeAndPin(const iolite::Slice& s);
+
+  // Turns a descriptor back into the pinned slice and releases the pin.
+  // Same-process consumers only: a foreign process resolves descriptors
+  // against its own mapping of the region instead (see examples/shm_ipc.cpp).
+  iolite::Slice ResolveAndUnpin(const SliceDesc& d);
+
+  // Drops a pin without consuming the payload (producer-side abort).
+  void Unpin(uint64_t ticket);
+
+  size_t pinned_count() const { return pinned_.size(); }
+
+ private:
+  ShmRegion* region_;
+  iolite::BufferPool pool_;
+  uint64_t next_ticket_ = 1;
+  std::unordered_map<uint64_t, iolite::Slice> pinned_;
+};
+
+}  // namespace iolipc
+
+#endif  // SRC_IPC_SHM_POOL_H_

@@ -1,0 +1,155 @@
+#include "src/ipc/shm_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace iolipc {
+
+namespace {
+constexpr uint32_t kRegionMagic = 0x494f4c53;  // "IOLS"
+constexpr size_t kExtentAlign = 64;
+}  // namespace
+
+// Lives at offset 0 of the mapping, shared by all mappers. The allocation
+// cursor is in here (not in any one process) so that creator and attachers
+// agree on what has been carved.
+struct ShmRegion::Header {
+  uint32_t magic;
+  uint32_t reserved;
+  uint64_t payload_size;
+  std::atomic<uint64_t> bump;  // Next free payload offset.
+};
+
+std::unique_ptr<ShmRegion> ShmRegion::Create(size_t size, const std::string& name) {
+  static_assert(sizeof(Header) <= kHeaderSpan, "header must fit in its span");
+  auto region = std::unique_ptr<ShmRegion>(new ShmRegion());
+  size_t mapping_size = kHeaderSpan + size;
+
+  int fd = -1;
+  if (!name.empty()) {
+    fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0 && errno == EEXIST) {
+      // A previous owner died before unlinking. Reclaim the name and retry
+      // once: a process still mapping the stale segment keeps its mapping,
+      // it just loses the name — better than silently degrading every
+      // restart-after-crash to the anonymous fallback.
+      shm_unlink(name.c_str());
+      fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    }
+    if (fd >= 0 && ftruncate(fd, static_cast<off_t>(mapping_size)) != 0) {
+      close(fd);
+      shm_unlink(name.c_str());
+      fd = -1;
+    }
+  }
+
+  void* mapping;
+  if (fd >= 0) {
+    mapping = mmap(nullptr, mapping_size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (mapping == MAP_FAILED) {
+      close(fd);
+      shm_unlink(name.c_str());
+      fd = -1;
+    }
+  }
+  if (fd < 0) {
+    // Sandboxed-CI fallback: anonymous shared mapping, inherited across
+    // fork(). Not attachable by name.
+    mapping = mmap(nullptr, mapping_size, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS,
+                   -1, 0);
+    if (mapping == MAP_FAILED) {
+      return nullptr;
+    }
+  }
+
+  region->name_ = fd >= 0 ? name : std::string();
+  region->fd_ = fd;
+  region->mapping_ = mapping;
+  region->mapping_size_ = mapping_size;
+  region->header_ = static_cast<Header*>(mapping);
+  region->payload_ = static_cast<char*>(mapping) + kHeaderSpan;
+  region->payload_size_ = size;
+  region->owner_ = true;
+
+  region->header_->magic = kRegionMagic;
+  region->header_->reserved = 0;
+  region->header_->payload_size = size;
+  region->header_->bump.store(0, std::memory_order_relaxed);
+  return region;
+}
+
+std::unique_ptr<ShmRegion> ShmRegion::Attach(const std::string& name) {
+  int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    return nullptr;
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0 || static_cast<size_t>(st.st_size) < kHeaderSpan) {
+    close(fd);
+    return nullptr;
+  }
+  size_t mapping_size = static_cast<size_t>(st.st_size);
+  void* mapping = mmap(nullptr, mapping_size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (mapping == MAP_FAILED) {
+    close(fd);
+    return nullptr;
+  }
+  auto* header = static_cast<Header*>(mapping);
+  if (header->magic != kRegionMagic ||
+      header->payload_size != mapping_size - kHeaderSpan) {
+    munmap(mapping, mapping_size);
+    close(fd);
+    return nullptr;
+  }
+
+  auto region = std::unique_ptr<ShmRegion>(new ShmRegion());
+  region->name_ = name;
+  region->fd_ = fd;
+  region->mapping_ = mapping;
+  region->mapping_size_ = mapping_size;
+  region->header_ = header;
+  region->payload_ = static_cast<char*>(mapping) + kHeaderSpan;
+  region->payload_size_ = header->payload_size;
+  region->owner_ = false;
+  return region;
+}
+
+ShmRegion::~ShmRegion() {
+  if (mapping_ != nullptr) {
+    munmap(mapping_, mapping_size_);
+  }
+  if (fd_ >= 0) {
+    close(fd_);
+    if (owner_ && !name_.empty()) {
+      shm_unlink(name_.c_str());
+    }
+  }
+}
+
+char* ShmRegion::AllocateExtent(size_t n) {
+  uint64_t offset = header_->bump.load(std::memory_order_relaxed);
+  uint64_t aligned;
+  uint64_t end;
+  do {
+    aligned = (offset + kExtentAlign - 1) & ~static_cast<uint64_t>(kExtentAlign - 1);
+    end = aligned + n;
+    if (end > payload_size_) {
+      return nullptr;
+    }
+  } while (!header_->bump.compare_exchange_weak(offset, end, std::memory_order_relaxed,
+                                                std::memory_order_relaxed));
+  return payload_ + aligned;
+}
+
+uint64_t ShmRegion::bytes_used() const {
+  return header_->bump.load(std::memory_order_relaxed);
+}
+
+uint64_t ShmRegion::bytes_free() const { return payload_size_ - bytes_used(); }
+
+}  // namespace iolipc

@@ -1,0 +1,34 @@
+// The wire format of the shared-memory transport: what actually crosses the
+// process boundary when an aggregate is transferred.
+//
+// A frame (one aggregate) is a run of SliceDescs whose last entry carries
+// kFrameEnd. Only these 32-byte descriptors are ever copied; the payload
+// they name stays where the producer sealed it, at a stable offset in the
+// shared region — the real-transport realization of "aggregates move by
+// reference" (Section 3.1).
+
+#ifndef SRC_IPC_SLICE_DESC_H_
+#define SRC_IPC_SLICE_DESC_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace iolipc {
+
+struct SliceDesc {
+  uint64_t offset;  // First payload byte, relative to the region base.
+  uint64_t length;  // Payload bytes.
+  uint64_t ticket;  // Producer-side pin id keeping the buffer alive in flight.
+  uint32_t flags;
+  uint32_t reserved;
+};
+
+constexpr uint32_t kFrameEnd = 1u;  // Last slice of an aggregate.
+
+static_assert(sizeof(SliceDesc) == 32, "descriptor layout is ABI");
+static_assert(std::is_trivially_copyable_v<SliceDesc>,
+              "descriptors are memcpy'd through shared memory");
+
+}  // namespace iolipc
+
+#endif  // SRC_IPC_SLICE_DESC_H_
