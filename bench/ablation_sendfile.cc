@@ -15,36 +15,47 @@
 
 namespace {
 
-double RunSendfile(size_t file_bytes, bool persistent) {
+double RunSendfile(size_t file_bytes, bool persistent, int clients, uint64_t requests,
+                   uint64_t warmup) {
   iolsys::SystemOptions options;
   options.checksum_cache = true;  // Present but unusable by sendfile's path.
   auto sys = std::make_unique<iolsys::System>(options);
   iolfs::FileId f = sys->fs().CreateFile("doc", file_bytes);
   iolhttp::SendfileServer server(&sys->ctx(), &sys->net(), &sys->io());
   iolhttp::DriverConfig config;
-  config.num_clients = 40;
+  config.num_clients = clients;
   config.persistent_connections = persistent;
-  config.max_requests = 4000;
-  config.warmup_requests = 200;
+  config.max_requests = requests;
+  config.warmup_requests = warmup;
   iolhttp::ClosedLoopDriver driver(&sys->ctx(), &sys->net(), &sys->cache(), &server, config);
   return driver.Run([f] { return f; }).megabits_per_sec;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using iolbench::ServerKind;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("ablation_sendfile", opts);
+  const int clients = opts.Clients(40);
+  const uint64_t requests = opts.Requests(4000);
+  const uint64_t warmup = opts.Warmup(200);
   iolbench::PrintHeader(
       "Ablation: sendfile vs IO-Lite vs mmap+writev (Mb/s, nonpersistent)",
       "size_kb\tFlash-Lite\tsendfile\tFlash\tlite/sendfile");
   for (size_t size : {2 * 1024, 10 * 1024, 50 * 1024, 200 * 1024}) {
-    double lite = iolbench::RunSingleFile(ServerKind::kFlashLite, size, false);
-    double sendfile = RunSendfile(size, false);
-    double flash = iolbench::RunSingleFile(ServerKind::kFlash, size, false);
+    double lite =
+        iolbench::RunSingleFile(ServerKind::kFlashLite, size, false, clients, requests, warmup);
+    double sendfile = RunSendfile(size, false, clients, requests, warmup);
+    double flash =
+        iolbench::RunSingleFile(ServerKind::kFlash, size, false, clients, requests, warmup);
     std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite, sendfile, flash,
                 lite / sendfile);
+    json.Add("Flash-Lite", size / 1024.0, lite);
+    json.Add("sendfile", size / 1024.0, sendfile);
+    json.Add("Flash", size / 1024.0, flash);
   }
   std::printf("# expectation: Flash < sendfile < Flash-Lite; the IO-Lite margin is the "
               "cached checksum\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

@@ -9,6 +9,8 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -21,6 +23,90 @@
 #include "src/workload/trace.h"
 
 namespace iolbench {
+
+// Command-line options shared by every figure benchmark:
+//   --json <path>  write the plotted series as machine-readable JSON
+//   --smoke        tiny request counts (CI rot check, not a measurement)
+struct BenchOptions {
+  std::string json_path;
+  bool smoke = false;
+
+  // Scale a full-run request/warmup/client count down in smoke mode.
+  uint64_t Requests(uint64_t full) const { return smoke && full > 120 ? 120 : full; }
+  uint64_t Warmup(uint64_t full) const { return smoke && full > 20 ? 20 : full; }
+  int Clients(int full) const { return smoke && full > 8 ? 8 : full; }
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+// Accumulates (series, x, value) rows and writes them as one JSON document:
+//   {"figure": "...", "smoke": false, "rows": [{"series": ..., "x": ...,
+//    "value": ...}, ...]}
+// A reporter with an empty path is a no-op, so benchmarks can call Add
+// unconditionally.
+class JsonReporter {
+ public:
+  JsonReporter(std::string figure, const BenchOptions& opts)
+      : figure_(std::move(figure)), path_(opts.json_path), smoke_(opts.smoke) {}
+
+  ~JsonReporter() { Flush(); }
+
+  void Add(const std::string& series, double x, double value) {
+    if (!path_.empty()) {
+      rows_.push_back(Row{series, x, value});
+    }
+  }
+
+  bool Flush() {
+    if (path_.empty()) {
+      return true;
+    }
+    if (attempted_) {
+      return ok_;  // One write, one diagnostic — the destructor re-calls us.
+    }
+    attempted_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
+      return ok_ = false;
+    }
+    std::fprintf(f, "{\"figure\": \"%s\", \"smoke\": %s, \"rows\": [", figure_.c_str(),
+                 smoke_ ? "true" : "false");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n  {\"series\": \"%s\", \"x\": %.6g, \"value\": %.6g}",
+                   i == 0 ? "" : ",", rows_[i].series.c_str(), rows_[i].x, rows_[i].value);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return ok_ = true;
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    double x;
+    double value;
+  };
+  std::string figure_;
+  std::string path_;
+  bool smoke_;
+  bool attempted_ = false;
+  bool ok_ = false;
+  std::vector<Row> rows_;
+};
 
 // The server configurations of Figures 3-12.
 enum class ServerKind {
@@ -60,8 +146,11 @@ struct Bench {
   std::unique_ptr<iolhttp::HttpServer> server;
 };
 
-inline Bench MakeBench(ServerKind kind) {
-  iolsys::SystemOptions options;
+// Builds the machine + server for `kind`. `options` seeds everything the
+// kind does not determine (e.g. cost.cpu_count for SMP sweeps); the cache
+// policy and checksum-cache fields are derived from the kind and overwrite
+// whatever the caller set.
+inline Bench MakeBench(ServerKind kind, iolsys::SystemOptions options = {}) {
   switch (kind) {
     case ServerKind::kFlashLite:
       options.policy = iolsys::SystemOptions::Policy::kGds;
@@ -106,14 +195,15 @@ inline Bench MakeBench(ServerKind kind) {
 
 // Single-file experiment (Figures 3 and 4): all clients request one file.
 inline double RunSingleFile(ServerKind kind, size_t file_bytes, bool persistent,
-                            int clients = 40, uint64_t requests = 4000) {
+                            int clients = 40, uint64_t requests = 4000,
+                            uint64_t warmup = 200) {
   Bench b = MakeBench(kind);
   iolfs::FileId f = b.sys->fs().CreateFile("doc", file_bytes);
   iolhttp::DriverConfig config;
   config.num_clients = clients;
   config.persistent_connections = persistent;
   config.max_requests = requests;
-  config.warmup_requests = 200;
+  config.warmup_requests = warmup;
   iolhttp::ClosedLoopDriver driver(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
                                    b.server.get(), config);
   return driver.Run([f] { return f; }).megabits_per_sec;
@@ -122,7 +212,8 @@ inline double RunSingleFile(ServerKind kind, size_t file_bytes, bool persistent,
 // CGI experiment (Figures 5 and 6).
 inline double RunCgi(ServerKind kind, size_t doc_bytes, bool persistent, int clients = 40,
                      uint64_t requests = 4000,
-                     iolhttp::CgiTransport transport = iolhttp::CgiTransport::kSimulatedPipe) {
+                     iolhttp::CgiTransport transport = iolhttp::CgiTransport::kSimulatedPipe,
+                     uint64_t warmup = 200) {
   iolsys::SystemOptions options;
   options.checksum_cache = IsLite(kind);
   auto sys = std::make_unique<iolsys::System>(options);
@@ -139,7 +230,7 @@ inline double RunCgi(ServerKind kind, size_t doc_bytes, bool persistent, int cli
   config.num_clients = clients;
   config.persistent_connections = persistent;
   config.max_requests = requests;
-  config.warmup_requests = 200;
+  config.warmup_requests = warmup;
   iolhttp::ClosedLoopDriver driver(&sys->ctx(), &sys->net(), &sys->cache(), server.get(),
                                    config);
   return driver.Run([] { return iolfs::FileId{1}; }).megabits_per_sec;

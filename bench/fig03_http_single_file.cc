@@ -12,8 +12,13 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using iolbench::ServerKind;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig03", opts);
+  const int clients = opts.Clients(40);
+  const uint64_t requests = opts.Requests(4000);
+  const uint64_t warmup = opts.Warmup(200);
   const std::vector<size_t> sizes = {500,           1 * 1024,   2 * 1024,  3 * 1024,
                                      5 * 1024,      7 * 1024,   10 * 1024, 15 * 1024,
                                      20 * 1024,     30 * 1024,  50 * 1024, 75 * 1024,
@@ -22,14 +27,20 @@ int main() {
   iolbench::PrintHeader("Figure 3: HTTP single-file bandwidth (Mb/s), nonpersistent",
                         "size_kb\tFlash-Lite\tFlash\tApache\tlite/flash");
   for (size_t size : sizes) {
-    double lite = iolbench::RunSingleFile(ServerKind::kFlashLite, size, false);
-    double flash = iolbench::RunSingleFile(ServerKind::kFlash, size, false);
-    double apache = iolbench::RunSingleFile(ServerKind::kApache, size, false);
+    double lite =
+        iolbench::RunSingleFile(ServerKind::kFlashLite, size, false, clients, requests, warmup);
+    double flash =
+        iolbench::RunSingleFile(ServerKind::kFlash, size, false, clients, requests, warmup);
+    double apache =
+        iolbench::RunSingleFile(ServerKind::kApache, size, false, clients, requests, warmup);
     std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite, flash, apache,
                 lite / flash);
+    json.Add("Flash-Lite", size / 1024.0, lite);
+    json.Add("Flash", size / 1024.0, flash);
+    json.Add("Apache", size / 1024.0, apache);
   }
   std::printf(
       "# paper: Flash-Lite ~= Flash at <=5KB; +38-43%% at >=50KB; Flash up to +71%% over "
       "Apache\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

@@ -12,8 +12,13 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using iolbench::ServerKind;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig05", opts);
+  const int clients = opts.Clients(40);
+  const uint64_t requests = opts.Requests(4000);
+  const uint64_t warmup = opts.Warmup(200);
   const std::vector<size_t> sizes = {500,       2 * 1024,  5 * 1024,   10 * 1024,
                                      20 * 1024, 50 * 1024, 100 * 1024, 200 * 1024};
 
@@ -21,21 +26,30 @@ int main() {
       "Figure 5: HTTP/FastCGI bandwidth (Mb/s), nonpersistent",
       "size_kb\tFlash-Lite\tFL-shm\tFlash\tApache\tlite_cgi/static\tflash_cgi/static");
   for (size_t size : sizes) {
-    double lite_cgi = iolbench::RunCgi(ServerKind::kFlashLite, size, false);
+    double lite_cgi = iolbench::RunCgi(ServerKind::kFlashLite, size, false, clients, requests,
+                                       iolhttp::CgiTransport::kSimulatedPipe, warmup);
     // Same server over the real shared-memory ring transport (src/ipc):
     // identical responses, payload crossing as descriptors.
-    double lite_cgi_shm = iolbench::RunCgi(ServerKind::kFlashLite, size, false, 40, 4000,
-                                           iolhttp::CgiTransport::kShmRing);
-    double flash_cgi = iolbench::RunCgi(ServerKind::kFlash, size, false);
-    double apache_cgi = iolbench::RunCgi(ServerKind::kApache, size, false);
-    double lite_static = iolbench::RunSingleFile(ServerKind::kFlashLite, size, false);
-    double flash_static = iolbench::RunSingleFile(ServerKind::kFlash, size, false);
+    double lite_cgi_shm = iolbench::RunCgi(ServerKind::kFlashLite, size, false, clients,
+                                           requests, iolhttp::CgiTransport::kShmRing, warmup);
+    double flash_cgi = iolbench::RunCgi(ServerKind::kFlash, size, false, clients, requests,
+                                        iolhttp::CgiTransport::kSimulatedPipe, warmup);
+    double apache_cgi = iolbench::RunCgi(ServerKind::kApache, size, false, clients, requests,
+                                         iolhttp::CgiTransport::kSimulatedPipe, warmup);
+    double lite_static =
+        iolbench::RunSingleFile(ServerKind::kFlashLite, size, false, clients, requests, warmup);
+    double flash_static =
+        iolbench::RunSingleFile(ServerKind::kFlash, size, false, clients, requests, warmup);
     std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", size / 1024.0, lite_cgi,
                 lite_cgi_shm, flash_cgi, apache_cgi, lite_cgi / lite_static,
                 flash_cgi / flash_static);
+    json.Add("Flash-Lite-CGI", size / 1024.0, lite_cgi);
+    json.Add("Flash-Lite-CGI-shm", size / 1024.0, lite_cgi_shm);
+    json.Add("Flash-CGI", size / 1024.0, flash_cgi);
+    json.Add("Apache-CGI", size / 1024.0, apache_cgi);
   }
   std::printf(
       "# paper: copy-based servers at ~half their static bandwidth; Flash-Lite CGI ~87%% of "
       "static and above Flash static\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

@@ -9,22 +9,35 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using iolbench::ServerKind;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig06", opts);
+  const int clients = opts.Clients(40);
+  const uint64_t requests = opts.Requests(4000);
+  const uint64_t warmup = opts.Warmup(200);
+  const auto pipe = iolhttp::CgiTransport::kSimulatedPipe;
   const std::vector<size_t> sizes = {500,       2 * 1024,  5 * 1024,   10 * 1024,
                                      20 * 1024, 50 * 1024, 100 * 1024, 200 * 1024};
 
   iolbench::PrintHeader("Figure 6: persistent-HTTP/FastCGI bandwidth (Mb/s)",
                         "size_kb\tFlash-Lite\tFlash\tApache\tflash_gain_vs_http10");
   for (size_t size : sizes) {
-    double lite = iolbench::RunCgi(ServerKind::kFlashLite, size, true);
-    double flash = iolbench::RunCgi(ServerKind::kFlash, size, true);
-    double apache = iolbench::RunCgi(ServerKind::kApache, size, true);
-    double flash_http10 = iolbench::RunCgi(ServerKind::kFlash, size, false);
+    double lite =
+        iolbench::RunCgi(ServerKind::kFlashLite, size, true, clients, requests, pipe, warmup);
+    double flash =
+        iolbench::RunCgi(ServerKind::kFlash, size, true, clients, requests, pipe, warmup);
+    double apache =
+        iolbench::RunCgi(ServerKind::kApache, size, true, clients, requests, pipe, warmup);
+    double flash_http10 =
+        iolbench::RunCgi(ServerKind::kFlash, size, false, clients, requests, pipe, warmup);
     std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite, flash, apache,
                 flash / flash_http10);
+    json.Add("Flash-Lite-CGI", size / 1024.0, lite);
+    json.Add("Flash-CGI", size / 1024.0, flash);
+    json.Add("Apache-CGI", size / 1024.0, apache);
   }
   std::printf(
       "# paper: Flash/Apache cannot exploit persistence (pipe-IPC-bound); Flash-Lite can\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

@@ -10,11 +10,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/workload/trace.h"
 
 namespace {
 
-void Report(const iolwl::TraceSpec& spec) {
+void Report(const iolwl::TraceSpec& spec, iolbench::JsonReporter* json) {
   iolwl::Trace trace = iolwl::Trace::Generate(spec);
   std::printf("## %s: %zu files, %llu requests, %.0f MB total, mean request %.1f KB\n",
               spec.name.c_str(), trace.file_sizes().size(),
@@ -31,18 +32,24 @@ void Report(const iolwl::TraceSpec& spec) {
   for (const auto& point : trace.Cdf(ks)) {
     std::printf("%zu\t%.3f\t%.3f\n", point.top_files, point.request_fraction,
                 point.data_fraction);
+    json->Add(spec.name + ":req_frac", static_cast<double>(point.top_files),
+              point.request_fraction);
+    json->Add(spec.name + ":data_frac", static_cast<double>(point.top_files),
+              point.data_fraction);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig07", opts);
   std::printf("# Figure 7: trace characteristics (synthetic, calibrated)\n");
-  Report(iolwl::EceSpec());
-  Report(iolwl::CsSpec());
-  Report(iolwl::MergedSpec());
+  Report(iolwl::EceSpec(), &json);
+  Report(iolwl::CsSpec(), &json);
+  Report(iolwl::MergedSpec(), &json);
   std::printf(
       "# paper: ECE 783529 req / 10195 files / 523 MB (top-5000: 95%% req, 39%% data); "
       "CS 3746842 / 26948 / 933 MB; MERGED 2290909 / 37703 / 1418 MB\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

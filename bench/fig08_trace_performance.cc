@@ -14,28 +14,40 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using iolbench::ServerKind;
-  const uint64_t kRequests = 30000;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig08", opts);
+  const uint64_t kRequests = opts.Requests(30000);
+  const uint64_t warmup = opts.Warmup(2000);
+  const int clients = opts.Clients(64);
   std::vector<iolwl::TraceSpec> specs = {iolwl::EceSpec(), iolwl::CsSpec(),
                                          iolwl::MergedSpec()};
   // Cap request-sequence length (distribution intact; see header comment).
   for (iolwl::TraceSpec& spec : specs) {
-    spec.num_requests = 120000;
+    spec.num_requests = opts.smoke ? 20000 : 120000;
   }
 
   iolbench::PrintHeader("Figure 8: overall trace performance (Mb/s), 64 clients",
                         "trace\tFlash-Lite\tFlash\tApache\tlite_hit\tflash_hit");
+  int trace_index = 0;
   for (const iolwl::TraceSpec& spec : specs) {
     iolwl::Trace trace = iolwl::Trace::Generate(spec);
-    auto lite = iolbench::RunTrace(ServerKind::kFlashLite, trace, 64, kRequests, true);
-    auto flash = iolbench::RunTrace(ServerKind::kFlash, trace, 64, kRequests, true);
-    auto apache = iolbench::RunTrace(ServerKind::kApache, trace, 64, kRequests, true);
+    auto lite =
+        iolbench::RunTrace(ServerKind::kFlashLite, trace, clients, kRequests, true, 0, warmup);
+    auto flash =
+        iolbench::RunTrace(ServerKind::kFlash, trace, clients, kRequests, true, 0, warmup);
+    auto apache =
+        iolbench::RunTrace(ServerKind::kApache, trace, clients, kRequests, true, 0, warmup);
     std::printf("%s\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", spec.name.c_str(), lite.mbps,
                 flash.mbps, apache.mbps, lite.hit_rate, flash.hit_rate);
+    json.Add("Flash-Lite:" + spec.name, trace_index, lite.mbps);
+    json.Add("Flash:" + spec.name, trace_index, flash.mbps);
+    json.Add("Apache:" + spec.name, trace_index, apache.mbps);
+    ++trace_index;
   }
   std::printf(
       "# paper: Flash-Lite >> Flash > Apache on ECE and CS; MERGED disk-bound, all "
       "servers converge\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

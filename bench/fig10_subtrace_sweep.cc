@@ -12,30 +12,41 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using iolbench::ServerKind;
-  const uint64_t kRequests = 80000;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig10", opts);
+  const uint64_t kRequests = opts.Requests(80000);
+  const uint64_t kWarmup = opts.Warmup(30000);
+  const int kClients = opts.Clients(64);
   // A longer request log than Figure 9's 28403 so the prefix construction
   // can actually cover the full 150 MB of distinct data (the real log's
   // every file appears at least once by construction; a Zipf sample needs
   // more draws to touch the tail).
   iolwl::TraceSpec spec = iolwl::SubtraceSpec();
-  spec.num_requests = 400000;
+  spec.num_requests = opts.smoke ? 20000 : 400000;
   iolwl::Trace full = iolwl::Trace::Generate(spec);
 
   iolbench::PrintHeader("Figure 10: MERGED subtrace bandwidth vs data set size, 64 clients",
                         "dataset_mb\tFlash-Lite\tFlash\tApache\tlite/flash\tflash/apache");
   for (uint64_t mb : {10, 25, 50, 75, 90, 105, 120, 135, 150}) {
     iolwl::Trace prefix = full.Prefix(mb << 20);
-    auto lite = iolbench::RunTrace(ServerKind::kFlashLite, prefix, 64, kRequests, false, 0, 30000);
-    auto flash = iolbench::RunTrace(ServerKind::kFlash, prefix, 64, kRequests, false, 0, 30000);
-    auto apache = iolbench::RunTrace(ServerKind::kApache, prefix, 64, kRequests, false, 0, 30000);
+    auto lite = iolbench::RunTrace(ServerKind::kFlashLite, prefix, kClients, kRequests, false,
+                                   0, kWarmup);
+    auto flash =
+        iolbench::RunTrace(ServerKind::kFlash, prefix, kClients, kRequests, false, 0, kWarmup);
+    auto apache =
+        iolbench::RunTrace(ServerKind::kApache, prefix, kClients, kRequests, false, 0, kWarmup);
     std::printf("%.0f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", prefix.total_bytes() / 1048576.0,
                 lite.mbps, flash.mbps, apache.mbps, lite.mbps / flash.mbps,
                 flash.mbps / apache.mbps);
+    double x = prefix.total_bytes() / 1048576.0;
+    json.Add("Flash-Lite", x, lite.mbps);
+    json.Add("Flash", x, flash.mbps);
+    json.Add("Apache", x, apache.mbps);
   }
   std::printf(
       "# paper: Flash-Lite +34-50%% (in-memory) and +44-67%% (disk-bound) over Flash; "
       "Flash +65-110%% over Apache\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

@@ -12,11 +12,15 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using iolbench::ServerKind;
-  const uint64_t kRequests = 80000;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig11", opts);
+  const uint64_t kRequests = opts.Requests(80000);
+  const uint64_t kWarmup = opts.Warmup(30000);
+  const int kClients = opts.Clients(64);
   iolwl::TraceSpec spec = iolwl::SubtraceSpec();
-  spec.num_requests = 400000;  // Full 150 MB coverage (see fig10).
+  spec.num_requests = opts.smoke ? 20000 : 400000;  // Full 150 MB coverage (see fig10).
   iolwl::Trace full = iolwl::Trace::Generate(spec);
 
   iolbench::PrintHeader(
@@ -24,17 +28,25 @@ int main() {
       "dataset_mb\tFL(gds+ck)\tFL(lru+ck)\tFL(gds)\tFL(lru)\tFlash");
   for (uint64_t mb : {10, 25, 50, 75, 90, 105, 120, 135, 150}) {
     iolwl::Trace prefix = full.Prefix(mb << 20);
-    auto gds_ck = iolbench::RunTrace(ServerKind::kFlashLite, prefix, 64, kRequests, false, 0, 30000);
-    auto lru_ck = iolbench::RunTrace(ServerKind::kFlashLiteLru, prefix, 64, kRequests, false, 0, 30000);
-    auto gds = iolbench::RunTrace(ServerKind::kFlashLiteNoCksum, prefix, 64, kRequests, false, 0, 30000);
-    auto lru = iolbench::RunTrace(ServerKind::kFlashLiteLruNoCksum, prefix, 64, kRequests,
-                                  false, 0, 30000);
-    auto flash = iolbench::RunTrace(ServerKind::kFlash, prefix, 64, kRequests, false, 0, 30000);
+    auto run = [&](ServerKind kind) {
+      return iolbench::RunTrace(kind, prefix, kClients, kRequests, false, 0, kWarmup);
+    };
+    auto gds_ck = run(ServerKind::kFlashLite);
+    auto lru_ck = run(ServerKind::kFlashLiteLru);
+    auto gds = run(ServerKind::kFlashLiteNoCksum);
+    auto lru = run(ServerKind::kFlashLiteLruNoCksum);
+    auto flash = run(ServerKind::kFlash);
     std::printf("%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n", prefix.total_bytes() / 1048576.0,
                 gds_ck.mbps, lru_ck.mbps, gds.mbps, lru.mbps, flash.mbps);
+    double x = prefix.total_bytes() / 1048576.0;
+    json.Add("FL-gds-ck", x, gds_ck.mbps);
+    json.Add("FL-lru-ck", x, lru_ck.mbps);
+    json.Add("FL-gds", x, gds.mbps);
+    json.Add("FL-lru", x, lru.mbps);
+    json.Add("Flash", x, flash.mbps);
   }
   std::printf(
       "# paper: copy elimination 21-33%% (Flash vs FL-LRU-nocksum, in-memory); checksum "
       "cache +10-15%%; GDS vs LRU +17-28%% disk-heavy\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

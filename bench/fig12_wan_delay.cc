@@ -14,11 +14,14 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using iolbench::ServerKind;
-  const uint64_t kRequests = 80000;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig12", opts);
+  const uint64_t kRequests = opts.Requests(80000);
+  const uint64_t kWarmup = opts.Warmup(30000);
   iolwl::TraceSpec spec = iolwl::SubtraceSpec();
-  spec.num_requests = 400000;  // Full coverage (see fig10).
+  spec.num_requests = opts.smoke ? 20000 : 400000;  // Full coverage (see fig10).
   iolwl::Trace prefix = iolwl::Trace::Generate(spec).Prefix(120ull << 20);
 
   struct Point {
@@ -38,14 +41,19 @@ int main() {
                         "delay\tclients\tFlash-Lite\tFlash\tApache");
   std::vector<double> first;
   for (const Point& point : points) {
-    auto lite = iolbench::RunTrace(ServerKind::kFlashLite, prefix, point.clients, kRequests,
-                                   false, point.rtt, 30000);
-    auto flash = iolbench::RunTrace(ServerKind::kFlash, prefix, point.clients, kRequests,
-                                    false, point.rtt, 30000);
-    auto apache = iolbench::RunTrace(ServerKind::kApache, prefix, point.clients, kRequests,
-                                     false, point.rtt, 30000);
-    std::printf("%s\t%d\t%.1f\t%.1f\t%.1f\n", point.label, point.clients, lite.mbps,
+    int clients = opts.Clients(point.clients);
+    auto lite = iolbench::RunTrace(ServerKind::kFlashLite, prefix, clients, kRequests,
+                                   false, point.rtt, kWarmup);
+    auto flash = iolbench::RunTrace(ServerKind::kFlash, prefix, clients, kRequests,
+                                    false, point.rtt, kWarmup);
+    auto apache = iolbench::RunTrace(ServerKind::kApache, prefix, clients, kRequests,
+                                     false, point.rtt, kWarmup);
+    std::printf("%s\t%d\t%.1f\t%.1f\t%.1f\n", point.label, clients, lite.mbps,
                 flash.mbps, apache.mbps);
+    double x = iolsim::ToSeconds(point.rtt) * 1e3;
+    json.Add("Flash-Lite", x, lite.mbps);
+    json.Add("Flash", x, flash.mbps);
+    json.Add("Apache", x, apache.mbps);
     if (first.empty()) {
       first = {lite.mbps, flash.mbps, apache.mbps};
     } else if (&point == &points.back()) {
@@ -55,5 +63,5 @@ int main() {
     }
   }
   std::printf("# paper: Flash -33%%, Apache -50%%, Flash-Lite flat or slightly up\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

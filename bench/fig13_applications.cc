@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "src/apps/filters.h"
 #include "src/apps/gcc_chain.h"
 #include "src/system/system.h"
@@ -20,14 +21,20 @@ double Seconds(iolsys::System* sys, iolsim::SimTime since) {
   return iolsim::ToSeconds(sys->ctx().clock().now() - since);
 }
 
-void Row(const char* name, double posix_s, double iolite_s) {
+void Row(iolbench::JsonReporter* json, int index, const char* name, double posix_s,
+         double iolite_s) {
   std::printf("%s\t%.4f\t%.4f\t%.1f%%\n", name, posix_s, iolite_s,
               100.0 * (1.0 - iolite_s / posix_s));
+  json->Add(std::string(name) + ":posix", index, posix_s);
+  json->Add(std::string(name) + ":iolite", index, iolite_s);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("fig13", opts);
+
   std::printf("# Figure 13: application runtimes (simulated seconds)\n");
   std::printf("app\tunmodified_s\tiolite_s\treduction\n");
 
@@ -41,7 +48,7 @@ int main() {
     double posix_s = Seconds(&sys, t0);
     t0 = sys.ctx().clock().now();
     iolapp::WcIolite(&sys, f);
-    Row("wc", posix_s, Seconds(&sys, t0));
+    Row(&json, 0, "wc", posix_s, Seconds(&sys, t0));
   }
 
   // permute | wc: ten 4-char words -> 10! * 40 bytes through the pipe.
@@ -54,7 +61,7 @@ int main() {
     iolsys::System sys_b;
     t0 = sys_b.ctx().clock().now();
     iolapp::PermuteWcIolite(&sys_b, sentence, 4);
-    Row("permute", posix_s, Seconds(&sys_b, t0));
+    Row(&json, 1, "permute", posix_s, Seconds(&sys_b, t0));
   }
 
   // cat file | grep, same file as wc.
@@ -67,7 +74,7 @@ int main() {
     double posix_s = Seconds(&sys, t0);
     t0 = sys.ctx().clock().now();
     iolapp::GrepCatIolite(&sys, f, "xyz");
-    Row("grep", posix_s, Seconds(&sys, t0));
+    Row(&json, 2, "grep", posix_s, Seconds(&sys, t0));
   }
 
   // gcc chain: 27 files, 167 KB total source.
@@ -80,9 +87,9 @@ int main() {
     iolsys::System sys_b;
     t0 = sys_b.ctx().clock().now();
     iolapp::GccChainIolite(&sys_b, config);
-    Row("gcc", posix_s, Seconds(&sys_b, t0));
+    Row(&json, 3, "gcc", posix_s, Seconds(&sys_b, t0));
   }
 
   std::printf("# paper: wc -37%%, permute -33%%, grep -48%%, gcc ~-1%%\n");
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Runs the built figure benchmarks and writes BENCH_figNN.json trajectory
+# files (one JSON document per figure, see JsonReporter in bench_util.h).
+#
+# Usage: bench/run_figs.sh [build-dir] [out-dir] [--smoke]
+#   build-dir  where the bench_* binaries live (default: build)
+#   out-dir    where the BENCH_*.json files go   (default: .)
+#   --smoke    forward smoke mode (tiny request counts) to every benchmark
+set -eu
+
+build_dir=""
+out_dir=""
+smoke=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke="--smoke" ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) if [ -z "$build_dir" ]; then build_dir="$arg"
+       elif [ -z "$out_dir" ]; then out_dir="$arg"
+       else echo "too many arguments" >&2; exit 2
+       fi ;;
+  esac
+done
+build_dir=${build_dir:-build}
+out_dir=${out_dir:-.}
+
+mkdir -p "$out_dir"
+found=0
+for bin in "$build_dir"/bench_fig* "$build_dir"/bench_sweep_* "$build_dir"/bench_ablation_*; do
+  [ -x "$bin" ] || continue
+  found=1
+  name=$(basename "$bin")
+  # bench_fig03_http_single_file -> BENCH_fig03.json; others keep full stem.
+  case "$name" in
+    bench_fig*)
+      short=$(echo "$name" | sed 's/^bench_\(fig[0-9]*\).*/\1/') ;;
+    *)
+      short=${name#bench_} ;;
+  esac
+  out="$out_dir/BENCH_${short}.json"
+  echo "== $name -> $out"
+  "$bin" $smoke --json "$out"
+done
+
+if [ "$found" = 0 ]; then
+  echo "no bench binaries found under $build_dir (configure + build first)" >&2
+  exit 1
+fi

@@ -1,5 +1,8 @@
 #include "src/fs/file_io.h"
 
+#include <cassert>
+#include <utility>
+
 namespace iolfs {
 
 iolite::Aggregate FileIoService::ReadExtent(FileId file, uint64_t offset, size_t length,
@@ -24,6 +27,39 @@ iolite::Aggregate FileIoService::ReadExtent(FileId file, uint64_t offset, size_t
   iolite::Aggregate agg = iolite::Aggregate::FromBuffer(std::move(buffer));
   cache_->Insert(file, offset, agg);
   return agg;
+}
+
+void FileIoService::ReadExtentAsync(FileId file, uint64_t offset, size_t length,
+                                    ReadCallback done) {
+  // Stage bodies run under a micro-tally; the async read must be issued
+  // from continuation context so the disk acquisition isn't double-counted.
+  assert(!ctx_->tally_active() && "issue async reads between stages, not inside one");
+  if (length == 0) {
+    done(iolite::Aggregate{}, false);
+    return;
+  }
+  std::optional<iolite::Aggregate> cached = cache_->Lookup(file, offset, length);
+  if (cached.has_value()) {
+    done(std::move(*cached), false);
+    return;
+  }
+  // Miss: measure the transfer's disk demand without advancing the clock
+  // (the DMA fill itself costs no CPU), acquire the disk arm for it, and
+  // complete — cache insert plus caller continuation — when it finishes.
+  iolsim::Tally tally;
+  iolite::BufferRef buffer;
+  {
+    iolsim::TallyScope scope(ctx_, &tally);
+    buffer = fs_->ReadFromDisk(file, offset, length);
+  }
+  assert(tally.cpu == 0 && "disk DMA fill must not charge CPU");
+  iolite::Aggregate agg = iolite::Aggregate::FromBuffer(std::move(buffer));
+  ctx_->disk().AcquireAsync(
+      &ctx_->events(), tally.disk,
+      [this, file, offset, agg = std::move(agg), done = std::move(done)]() mutable {
+        cache_->Insert(file, offset, agg);
+        done(std::move(agg), true);
+      });
 }
 
 void FileIoService::WriteExtent(FileId file, uint64_t offset, const iolite::Aggregate& data) {

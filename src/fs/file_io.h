@@ -10,6 +10,7 @@
 #ifndef SRC_FS_FILE_IO_H_
 #define SRC_FS_FILE_IO_H_
 
+#include <functional>
 #include <memory>
 
 #include "src/fs/file_cache.h"
@@ -35,6 +36,19 @@ class FileIoService {
   // `was_miss` is non-null it reports whether disk I/O happened.
   iolite::Aggregate ReadExtent(FileId file, uint64_t offset, size_t length,
                                bool* was_miss = nullptr);
+
+  // Completion callback of an asynchronous read: the aggregate plus
+  // whether disk I/O happened.
+  using ReadCallback = std::function<void(iolite::Aggregate, bool was_miss)>;
+
+  // Asynchronous read through the cache for the staged request pipeline.
+  // On a hit `done` runs immediately (in-place cache access, no charge
+  // beyond what the caller's stage accounts). On a miss the disk resource
+  // is acquired for the access's service demand and `done` runs at the
+  // completion event; the extent becomes visible in the cache only then,
+  // so concurrent readers of a cold file each pay their own disk access
+  // (no read coalescing — matching one-outstanding-I/O-per-request disks).
+  void ReadExtentAsync(FileId file, uint64_t offset, size_t length, ReadCallback done);
 
   // Replaces [offset, offset+data.size()) in both the cache and the file.
   void WriteExtent(FileId file, uint64_t offset, const iolite::Aggregate& data);

@@ -72,31 +72,55 @@ void LiteCgiProcess::ProduceResponse(iolipc::ShmStream* stream) {
 
 CopyCgiServer::CopyCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
                              iolfs::FileIoService* io, size_t doc_bytes, bool apache_costs)
-    : HttpServer(ctx, net, io), apache_costs_(apache_costs), cgi_(ctx, doc_bytes), pipe_(ctx) {
-  server_buf_.resize(doc_bytes);
-}
+    : HttpServer(ctx, net, io), apache_costs_(apache_costs), cgi_(ctx, doc_bytes), pipe_(ctx) {}
 
-size_t CopyCgiServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId /*file*/) {
-  const iolsim::CostParams& p = ctx_->cost().params();
-  ctx_->ChargeCpu(apache_costs_ ? p.apache_request_cpu : p.flash_request_cpu);
-  conn->ReceiveRequest(kRequestBytes);
-
-  // The CGI process writes the document into the pipe (copy #1)...
-  cgi_.ProduceResponse(&pipe_);
-  // ...blocking on the pipe buffer as it fills: one producer/consumer
-  // context switch per pipe-buffer's worth of data...
-  uint64_t chunks = (cgi_.doc_bytes() + p.pipe_buffer_bytes - 1) / p.pipe_buffer_bytes;
-  ctx_->ChargeCpu(p.context_switch_cost * static_cast<iolsim::SimTime>(chunks));
-  // ...and the server reads it out into its own buffer (copy #2).
-  pipe_.Read(server_buf_.data(), server_buf_.size());
-
-  char header[kResponseHeaderBytes];
-  size_t header_len = BuildHeader(header, server_buf_.size());
-
-  // ...and writev copies header + body into the socket buffer (copy #3).
-  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-  ctx_->stats().syscalls++;
-  return conn->SendPrivateCopy(header, header_len, server_buf_.data(), server_buf_.size());
+void CopyCgiServer::StartRequest(RequestContext* req) {
+  // Stage 1: server-side accept + parse.
+  CpuStage(
+      [this, req] {
+        const iolsim::CostParams& p = ctx_->cost().params();
+        ctx_->ChargeCpu(apache_costs_ ? p.apache_request_cpu : p.flash_request_cpu);
+        req->conn->ReceiveRequest(kRequestBytes);
+      },
+      [this, req] {
+        // Stage 2 — the CGI hop: the process writes the document into the
+        // pipe (copy #1), blocking on the pipe buffer as it fills (one
+        // producer/consumer context switch per pipe-buffer's worth), and
+        // the server reads it out into a per-request buffer (copy #2).
+        // The buffer travels with the request: concurrent requests are
+        // each suspended between stages and must not share it.
+        std::shared_ptr<std::vector<char>> body;
+        if (!spare_bufs_.empty()) {
+          body = std::move(spare_bufs_.back());
+          spare_bufs_.pop_back();
+        } else {
+          body = std::make_shared<std::vector<char>>(cgi_.doc_bytes());
+        }
+        CpuStage(
+            [this, body] {
+              const iolsim::CostParams& p = ctx_->cost().params();
+              cgi_.ProduceResponse(&pipe_);
+              uint64_t chunks =
+                  (cgi_.doc_bytes() + p.pipe_buffer_bytes - 1) / p.pipe_buffer_bytes;
+              ctx_->ChargeCpu(p.context_switch_cost * static_cast<iolsim::SimTime>(chunks));
+              pipe_.Read(body->data(), body->size());
+            },
+            [this, req, body] {
+              // Stage 3: header build + writev copies header + body into
+              // the socket buffer (copy #3), checksummed in full.
+              CpuStage(
+                  [this, req, body] {
+                    char header[kResponseHeaderBytes];
+                    size_t header_len = BuildResponseHeader(header, body->size());
+                    ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+                    ctx_->stats().syscalls++;
+                    req->response_bytes = req->conn->SendPrivateCopy(
+                        header, header_len, body->data(), body->size());
+                    spare_bufs_.push_back(body);
+                  },
+                  [this, req] { TransmitStage(req); });
+            });
+      });
 }
 
 // --- LiteCgiServer ----------------------------------------------------------
@@ -144,47 +168,52 @@ LiteCgiServer::LiteCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* 
   }
 }
 
-size_t LiteCgiServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId /*file*/) {
-  ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
-  conn->ReceiveRequest(kRequestBytes);
-
-  // CGI produces into the channel by reference...
-  iolite::Aggregate body;
-  if (transport_ == CgiTransport::kShmRing) {
-    cgi_.ProduceResponse(stream_.get());
-    // ...the server IOL_reads the aggregate out of the ring: one syscall,
-    // descriptor resolution, zero payload bytes touched.
-    ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-    ctx_->stats().syscalls++;
-    body = stream_->Read(server_domain_, SIZE_MAX);
-  } else {
-    cgi_.ProduceResponse(channel_.get());
-    // ...the server IOL_reads the aggregate out: one syscall plus mapping of
-    // any cold chunks into the server domain (first request only).
-    ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-    ctx_->stats().syscalls++;
-    body = channel_->Pop(SIZE_MAX);
-  }
-  runtime_->MapAggregate(body, server_domain_);
-
-  char header[kResponseHeaderBytes];
-  size_t header_len = BuildHeader(header, body.size());
-  iolite::BufferRef hbuf = header_pool_->Allocate(header_len);
-  std::memcpy(hbuf->writable_data(), header, header_len);
-  ctx_->ChargeCpu(ctx_->cost().CopyCost(header_len));
-  ctx_->stats().bytes_copied += header_len;
-  ctx_->stats().copy_ops++;
-  hbuf->Seal(header_len);
-
-  iolite::Aggregate response = iolite::Aggregate::FromBuffer(std::move(hbuf));
-  response.Append(body);
-  if (capture_responses_) {
-    last_response_ = response;
-  }
-
-  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-  ctx_->stats().syscalls++;
-  return conn->SendAggregate(response);
+void LiteCgiServer::StartRequest(RequestContext* req) {
+  // Stage 1: server-side accept + parse.
+  CpuStage(
+      [this, req] {
+        ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
+        req->conn->ReceiveRequest(kRequestBytes);
+      },
+      [this, req] {
+        // Stage 2 — the CGI hop, by reference: the process pushes the
+        // cached document into the channel, the server IOL_reads the
+        // aggregate out (one syscall; descriptor resolution on the ring,
+        // cold-chunk mapping on the simulated pipe), zero payload copies.
+        auto body = std::make_shared<iolite::Aggregate>();
+        CpuStage(
+            [this, body] {
+              if (transport_ == CgiTransport::kShmRing) {
+                cgi_.ProduceResponse(stream_.get());
+                ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+                ctx_->stats().syscalls++;
+                *body = stream_->Read(server_domain_, SIZE_MAX);
+              } else {
+                cgi_.ProduceResponse(channel_.get());
+                ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+                ctx_->stats().syscalls++;
+                *body = channel_->Pop(SIZE_MAX);
+              }
+              runtime_->MapAggregate(*body, server_domain_);
+            },
+            [this, req, body] {
+              // Stage 3: header from the server's IO-Lite pool, IOL_write
+              // by reference; only the fresh header generation is summed.
+              CpuStage(
+                  [this, req, body] {
+                    iolite::Aggregate response = iolite::Aggregate::FromBuffer(
+                        MakeIoLiteHeader(ctx_, header_pool_, body->size()));
+                    response.Append(*body);
+                    if (capture_responses_) {
+                      last_response_ = response;
+                    }
+                    ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+                    ctx_->stats().syscalls++;
+                    req->response_bytes = req->conn->SendAggregate(response);
+                  },
+                  [this, req] { TransmitStage(req); });
+            });
+      });
 }
 
 }  // namespace iolhttp

@@ -102,13 +102,15 @@ class CopyCgiServer : public HttpServer {
   uint64_t per_connection_memory() const override {
     return apache_costs_ ? ctx_->cost().params().apache_process_bytes : 0;
   }
-  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+  void StartRequest(RequestContext* req) override;
 
  private:
   bool apache_costs_;
   CopyCgiProcess cgi_;
   iolposix::PosixPipe pipe_;
-  std::vector<char> server_buf_;
+  // Recycled per-request read buffers: concurrent requests each hold one
+  // across their stage suspensions; completed requests return theirs here.
+  std::vector<std::shared_ptr<std::vector<char>>> spare_bufs_;
 };
 
 // Flash-Lite serving FastCGI content over an IO-Lite pipe or, with the
@@ -123,7 +125,7 @@ class LiteCgiServer : public HttpServer {
     return transport_ == CgiTransport::kShmRing ? "Flash-Lite-CGI-shm" : "Flash-Lite-CGI";
   }
   bool uses_iolite_sockets() const override { return true; }
-  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+  void StartRequest(RequestContext* req) override;
 
   CgiTransport transport() const { return transport_; }
 

@@ -1,23 +1,34 @@
-// Closed-loop client population driving a server model (Section 5.1's
-// methodology: "a client issues a new request as soon as a response is
-// received for the previous request").
+// Client populations driving a server model over the staged request
+// pipeline (Section 5.1's methodology, generalized).
 //
-// Each request's data path is executed under a cost tally, then its CPU and
-// disk demands are scheduled onto FIFO resources (single server CPU, single
-// disk) and its payload onto the shared NIC-array link; the completion event
-// triggers the client's next request. Optional delay routers add WAN
-// round-trip time (Section 5.7).
+// The driver is a thin layer over the same event engine the servers run
+// on: it issues requests, admits them to the server (queueing — never
+// dropping — when DriverConfig::max_concurrent caps concurrency), lets the
+// staged pipeline acquire CPU/disk/link as each stage runs, and schedules
+// client-side completions (plus optional WAN delay-router latency,
+// Section 5.7). Two arrival models:
+//
+//  * Closed loop (default): each client issues a new request as soon as the
+//    response to its previous one arrives; persistent connections may keep
+//    `pipeline_depth` requests in flight (HTTP/1.1 pipelining).
+//  * Open loop: requests arrive in a Poisson stream at `arrivals_per_sec`,
+//    independent of completions, over a growing connection pool.
 
 #ifndef SRC_HTTPD_DRIVER_H_
 #define SRC_HTTPD_DRIVER_H_
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/httpd/http_server.h"
+#include "src/httpd/request_pipeline.h"
 #include "src/net/tcp.h"
 #include "src/simos/event_queue.h"
+#include "src/simos/rng.h"
 #include "src/simos/sim_context.h"
 
 namespace iolhttp {
@@ -31,10 +42,18 @@ struct DriverConfig {
   uint64_t warmup_requests = 0;
   iolnet::DelayRouter delay;
   // Cap on concurrently served connections (Apache process model); 0 = off.
+  // Excess arrivals wait in a FIFO accept queue — they are never dropped.
   int max_concurrent = 0;
   // Enforce the file-cache byte budget from the memory model after each
   // request (trace experiments). Off for single-file tests.
   bool enforce_cache_budget = false;
+  // Requests a client keeps in flight on its persistent connection
+  // (HTTP/1.1 pipelining). Ignored for nonpersistent connections.
+  int pipeline_depth = 1;
+  // Open-loop (Poisson) arrivals instead of the closed loop.
+  bool open_loop = false;
+  double arrivals_per_sec = 0;
+  uint64_t arrival_seed = 0x9e3779b9;
 };
 
 struct DriverResult {
@@ -43,33 +62,66 @@ struct DriverResult {
   double seconds = 0;
   double megabits_per_sec = 0;
   double cache_hit_rate = 0;
+  // High-water mark of concurrently served requests.
+  int peak_concurrent = 0;
+  // Arrivals that had to wait in the accept queue (max_concurrent).
+  uint64_t admission_waits = 0;
 };
 
-class ClosedLoopDriver {
+class LoadDriver {
  public:
-  // Returns the file to request next (shared across clients).
+  // Returns the file to request next (shared across clients; called in
+  // service order).
   using RequestSource = std::function<iolfs::FileId()>;
 
-  ClosedLoopDriver(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
-                   iolfs::FileCache* cache, HttpServer* server, DriverConfig config)
+  LoadDriver(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+             iolfs::FileCache* cache, HttpServer* server, DriverConfig config)
       : ctx_(ctx),
         net_(net),
         cache_(cache),
         server_(server),
         config_(config),
-        cpu_(&ctx->clock()),
-        disk_(&ctx->clock()),
-        link_(&ctx->clock()) {}
+        arrival_rng_(config.arrival_seed) {}
 
   DriverResult Run(RequestSource next_file);
 
  private:
-  struct Client {
-    std::unique_ptr<iolnet::TcpConnection> conn;
+  // One request slot: a connection (shared by a client's pipelined lanes)
+  // plus the in-flight request state. Heap-allocated so addresses stay
+  // stable when the open-loop pool grows.
+  struct Lane {
+    iolnet::TcpConnection* conn = nullptr;
+    size_t conn_index = 0;
+    uint64_t seq = 0;  // Issue order on this lane's connection.
+    RequestContext req;
   };
 
-  void IssueRequest(int client_index, RequestSource& next_file);
-  void OnComplete(int client_index, size_t bytes, RequestSource& next_file);
+  // Per-connection pipelining state: responses are delivered to the client
+  // in request-issue order (HTTP/1.1 pipelining head-of-line blocking),
+  // even when the staged pipeline completes them out of order.
+  struct ConnState {
+    uint64_t next_issue = 0;
+    uint64_t next_deliver = 0;
+    // Completed out-of-order responses waiting for their turn: seq ->
+    // (lane, bytes).
+    std::map<uint64_t, std::pair<size_t, size_t>> done_out_of_order;
+  };
+
+  size_t AddLane(size_t conn_index);
+  // Recomputes the steady-state memory the client population pins, for the
+  // current pool size (open-loop growth re-runs this).
+  void UpdateSteadyMemory();
+  // Client issues: the request propagates to the server (one-way delay).
+  void IssueRequest(size_t lane);
+  // Request reaches the server: admitted now or queued behind
+  // max_concurrent.
+  void ArriveAtServer(size_t lane);
+  // Admitted: connection setup (if needed) as a CPU stage, then the
+  // server's staged pipeline.
+  void ServeRequest(size_t lane);
+  void OnServerDone(size_t lane);
+  void OnClientReceive(size_t lane, size_t bytes);
+  void ScheduleNextArrival();
   uint64_t CacheBudget() const;
 
   iolsim::SimContext* ctx_;
@@ -77,17 +129,28 @@ class ClosedLoopDriver {
   iolfs::FileCache* cache_;
   HttpServer* server_;
   DriverConfig config_;
-  iolsim::Resource cpu_;
-  iolsim::Resource disk_;
-  iolsim::Resource link_;
-  std::vector<Client> clients_;
+  iolsim::Rng arrival_rng_;
+  RequestSource next_file_;
 
-  uint64_t completed_ = 0;       // All completions, including warmup.
+  std::vector<std::unique_ptr<iolnet::TcpConnection>> conns_;
+  std::vector<ConnState> conn_state_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::deque<size_t> accept_queue_;
+  std::vector<size_t> free_lanes_;  // Open loop: idle pool entries.
+
+  int in_service_ = 0;
+  int peak_in_service_ = 0;
+  uint64_t admission_waits_ = 0;
+  uint64_t completed_ = 0;  // All completions, including warmup.
   uint64_t counted_requests_ = 0;
   uint64_t counted_bytes_ = 0;
   iolsim::SimTime count_start_ = 0;
   bool done_ = false;
 };
+
+// Historical name from when the driver only spoke the closed-loop protocol;
+// kept so existing call sites read naturally for that mode.
+using ClosedLoopDriver = LoadDriver;
 
 }  // namespace iolhttp
 

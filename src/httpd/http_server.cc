@@ -1,68 +1,112 @@
 #include "src/httpd/http_server.h"
 
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace iolhttp {
 
-size_t FlashServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) {
-  ctx_->ChargeCpu(RequestCpu());
-  conn->ReceiveRequest(kRequestBytes);
-
-  uint64_t size = io_->fs().SizeOf(file);
-  // mmap semantics: file data is accessed in place from the (unified)
-  // cache; no copy into user space. On a miss the data comes from disk and
-  // the freshly faulted pages must be mapped.
-  bool miss = false;
-  iolite::Aggregate body = io_->ReadExtent(file, 0, size, &miss);
-  if (miss) {
-    ctx_->ChargeCpu(ctx_->cost().PageMapCost(ctx_->cost().PagesFor(size)));
-    ctx_->stats().pages_mapped += ctx_->cost().PagesFor(size);
+size_t HttpServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) {
+  assert(!ctx_->tally_active());
+  RequestContext req;
+  req.conn = conn;
+  req.file = file;
+  bool finished = false;
+  req.on_done = [&finished](RequestContext*) { finished = true; };
+  StartRequest(&req);
+  while (!finished && ctx_->events().RunOne()) {
   }
-
-  char header[kResponseHeaderBytes];
-  size_t header_len = BuildHeader(header, size);
-
-  // writev(2): gathers header + mapped file into the socket send buffer.
-  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-  ctx_->stats().syscalls++;
-  return conn->SendGatheredCopy(header, header_len, body);
+  if (!finished) {
+    // A stage forgot to schedule its continuation; die loudly instead of
+    // returning a zero-byte response (release builds skip asserts).
+    std::fprintf(stderr, "%s: pipeline stalled — event queue drained before completion\n",
+                 name());
+    std::abort();
+  }
+  return req.response_bytes;
 }
 
-size_t SendfileServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) {
-  ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
-  conn->ReceiveRequest(kRequestBytes);
+void FlashServer::StartRequest(RequestContext* req) {
+  // Stage 1: event loop wakeup, HTTP parse, per-request application work.
+  CpuStage(
+      [this, req] {
+        ctx_->ChargeCpu(RequestCpu());
+        req->conn->ReceiveRequest(kRequestBytes);
+      },
+      [this, req] {
+        // Stage 2: cache lookup; a miss occupies the disk arm.
+        uint64_t size = io_->fs().SizeOf(req->file);
+        io_->ReadExtentAsync(
+            req->file, 0, size,
+            [this, req, size](iolite::Aggregate body, bool miss) {
+              // Stage 3: mmap fault mapping (cold data only), header build,
+              // writev — one gathered copy + checksum into socket buffers.
+              CpuStage(
+                  [this, req, size, miss, body = std::move(body)] {
+                    if (miss) {
+                      ctx_->ChargeCpu(ctx_->cost().PageMapCost(ctx_->cost().PagesFor(size)));
+                      ctx_->stats().pages_mapped += ctx_->cost().PagesFor(size);
+                    }
+                    char header[kResponseHeaderBytes];
+                    size_t header_len = BuildResponseHeader(header, size);
+                    ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+                    ctx_->stats().syscalls++;
+                    req->response_bytes =
+                        req->conn->SendGatheredCopy(header, header_len, body);
+                  },
+                  // Stage 4: per-segment transmission on the shared link.
+                  [this, req] { TransmitStage(req); });
+            });
+      });
+}
 
-  uint64_t size = io_->fs().SizeOf(file);
-  // One sendfile(2) call: file -> socket entirely inside the kernel.
-  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-  ctx_->stats().syscalls++;
-  iolite::Aggregate body = io_->ReadExtent(file, 0, size);
+void SendfileServer::StartRequest(RequestContext* req) {
+  CpuStage(
+      [this, req] {
+        ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
+        req->conn->ReceiveRequest(kRequestBytes);
+        // One sendfile(2) call: file -> socket entirely inside the kernel.
+        ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+        ctx_->stats().syscalls++;
+      },
+      [this, req] {
+        uint64_t size = io_->fs().SizeOf(req->file);
+        io_->ReadExtentAsync(
+            req->file, 0, size,
+            [this, req, size](iolite::Aggregate body, bool /*miss*/) {
+              CpuStage(
+                  [this, req, size, body = std::move(body)] {
+                    // The in-transit pages must be protected against
+                    // modification (the "copy-on-write / exclusive locks" of
+                    // Section 6.7): one protection operation per chunk per
+                    // transmission.
+                    int chunks = 0;
+                    for (const iolite::Slice& s : body.slices()) {
+                      chunks += static_cast<int>(s.buffer()->chunks().size());
+                    }
+                    ctx_->ChargeCpu(ctx_->cost().PageProtectCost(1) * chunks * 2);
 
-  // The in-transit pages must be protected against modification (the
-  // "copy-on-write / exclusive locks" of Section 6.7): one protection
-  // operation per chunk per transmission.
-  int chunks = 0;
-  for (const iolite::Slice& s : body.slices()) {
-    chunks += static_cast<int>(s.buffer()->chunks().size());
-  }
-  ctx_->ChargeCpu(ctx_->cost().PageProtectCost(1) * chunks * 2);  // Lock + unlock.
-
-  char header[kResponseHeaderBytes];
-  size_t header_len = BuildHeader(header, size);
-  iolite::Aggregate response;
-  // The header is prepended in kernel mbufs; the body moves by reference —
-  // but its checksum cannot be cached: sendfile has no generation numbers,
-  // so the TCP layer must assume the file may have changed.
-  bool cache_was_enabled = net_->checksum().cache_enabled();
-  net_->checksum().set_cache_enabled(false);
-  // Header bytes travel as an inline mbuf: copied (tiny) and checksummed.
-  ctx_->ChargeCpu(ctx_->cost().CopyCost(header_len));
-  ctx_->stats().bytes_copied += header_len;
-  ctx_->stats().copy_ops++;
-  size_t sent = header_len + conn->SendAggregate(body);
-  ctx_->ChargeCpu(ctx_->cost().ChecksumCost(header_len));
-  net_->checksum().set_cache_enabled(cache_was_enabled);
-  return sent;
+                    char header[kResponseHeaderBytes];
+                    size_t header_len = BuildResponseHeader(header, size);
+                    // The header is prepended in kernel mbufs; the body moves
+                    // by reference — but its checksum cannot be cached:
+                    // sendfile has no generation numbers, so the TCP layer
+                    // must assume the file may have changed.
+                    bool cache_was_enabled = net_->checksum().cache_enabled();
+                    net_->checksum().set_cache_enabled(false);
+                    // Header bytes travel as an inline mbuf: copied (tiny)
+                    // and checksummed.
+                    ctx_->ChargeCpu(ctx_->cost().CopyCost(header_len));
+                    ctx_->stats().bytes_copied += header_len;
+                    ctx_->stats().copy_ops++;
+                    req->response_bytes = header_len + req->conn->SendAggregate(body);
+                    ctx_->ChargeCpu(ctx_->cost().ChecksumCost(header_len));
+                    net_->checksum().set_cache_enabled(cache_was_enabled);
+                  },
+                  [this, req] { TransmitStage(req); });
+            });
+      });
 }
 
 FlashLiteServer::FlashLiteServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
@@ -74,40 +118,44 @@ FlashLiteServer::FlashLiteServer(iolsim::SimContext* ctx, iolnet::NetworkSubsyst
   header_pool_ = runtime_->CreatePool("flash-lite-headers", domain_);
 }
 
-size_t FlashLiteServer::HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) {
-  ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
-  conn->ReceiveRequest(kRequestBytes);
+void FlashLiteServer::StartRequest(RequestContext* req) {
+  CpuStage(
+      [this, req] {
+        ctx_->ChargeCpu(ctx_->cost().params().flash_request_cpu);
+        req->conn->ReceiveRequest(kRequestBytes);
+        // IOL_read syscall boundary; the read itself proceeds in stage 2.
+        ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+        ctx_->stats().syscalls++;
+      },
+      [this, req] {
+        // IOL_read: an aggregate referencing the cache's immutable buffers;
+        // a miss occupies the disk arm before the request continues.
+        uint64_t size = io_->fs().SizeOf(req->file);
+        io_->ReadExtentAsync(
+            req->file, 0, size,
+            [this, req, size](iolite::Aggregate body, bool /*miss*/) {
+              CpuStage(
+                  [this, req, size, body = std::move(body)] {
+                    // The buffers' chunks are mapped into the server domain
+                    // (cold chunks only — mappings persist, so a popular
+                    // document costs nothing here).
+                    runtime_->MapAggregate(body, domain_);
 
-  uint64_t size = io_->fs().SizeOf(file);
-  // IOL_read: an aggregate referencing the cache's immutable buffers; the
-  // buffers' chunks are mapped into the server domain (cold chunks only —
-  // mappings persist, so a popular document costs nothing here).
-  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-  ctx_->stats().syscalls++;
-  iolite::Aggregate body = io_->ReadExtent(file, 0, size);
-  runtime_->MapAggregate(body, domain_);
+                    iolite::Aggregate response = iolite::Aggregate::FromBuffer(
+                        MakeIoLiteHeader(ctx_, header_pool_, size));
+                    response.Append(body);
 
-  // Response header: allocated from IO-Lite space instead of malloc
-  // (Section 5: "allocating memory for response headers ... is handled
-  // with memory allocation from IO-Lite space").
-  char header[kResponseHeaderBytes];
-  size_t header_len = BuildHeader(header, size);
-  iolite::BufferRef hbuf = header_pool_->Allocate(header_len);
-  std::memcpy(hbuf->writable_data(), header, header_len);
-  ctx_->ChargeCpu(ctx_->cost().CopyCost(header_len));
-  ctx_->stats().bytes_copied += header_len;
-  ctx_->stats().copy_ops++;
-  hbuf->Seal(header_len);
-
-  iolite::Aggregate response = iolite::Aggregate::FromBuffer(std::move(hbuf));
-  response.Append(body);
-
-  // IOL_write: payload by reference; checksum of the body slices comes from
-  // the checksum cache when the document was transmitted before. The header
-  // buffer was just reallocated (new generation), so only it is summed.
-  ctx_->ChargeCpu(ctx_->cost().SyscallCost());
-  ctx_->stats().syscalls++;
-  return conn->SendAggregate(response);
+                    // IOL_write: payload by reference; checksum of the body
+                    // slices comes from the checksum cache when the document
+                    // was transmitted before. The header buffer was just
+                    // reallocated (new generation), so only it is summed.
+                    ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+                    ctx_->stats().syscalls++;
+                    req->response_bytes = req->conn->SendAggregate(response);
+                  },
+                  [this, req] { TransmitStage(req); });
+            });
+      });
 }
 
 }  // namespace iolhttp

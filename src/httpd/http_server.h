@@ -13,28 +13,28 @@
 //    IOL_write by reference, checksum served from the generation-keyed
 //    cache for everything but the header.
 //
-// Servers charge CPU/disk costs through the SimContext; wire transmission
-// and queueing belong to the closed-loop driver.
+// Every server is written as a staged continuation chain (StartRequest):
+// each stage acquires the machine's CPU/disk/link resources as it runs, so
+// concurrent requests overlap. HandleRequest is a synchronous convenience
+// wrapper for direct-mode callers (tests, examples).
 
 #ifndef SRC_HTTPD_HTTP_SERVER_H_
 #define SRC_HTTPD_HTTP_SERVER_H_
 
-#include <cassert>
-#include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "src/fs/file_io.h"
+#include "src/httpd/request_pipeline.h"
+#include "src/httpd/response_header.h"
 #include "src/iolite/runtime.h"
 #include "src/net/tcp.h"
 #include "src/simos/sim_context.h"
 
 namespace iolhttp {
-
-// Typical HTTP/1.0 response header and request sizes.
-constexpr size_t kResponseHeaderBytes = 250;
-constexpr size_t kRequestBytes = 300;
 
 class HttpServer {
  public:
@@ -54,29 +54,25 @@ class HttpServer {
   // (Apache: a worker process).
   virtual uint64_t per_connection_memory() const { return 0; }
 
-  // Serves one request for `file` on `conn`; returns response bytes
-  // (header + body). Charges all CPU/disk costs via the SimContext.
-  virtual size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) = 0;
+  // Starts the staged pipeline for one request. `req` (caller-owned, alive
+  // until completion) carries the connection and file; `req->on_done`
+  // fires when the last response byte has left the wire.
+  virtual void StartRequest(RequestContext* req) = 0;
+
+  // Synchronous convenience for direct-mode callers: starts the pipeline
+  // and drains the event queue until this request completes. Returns
+  // response bytes (header + body).
+  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file);
 
  protected:
-  // Builds a plausible response header into `buf` (real bytes, so checksums
-  // over it are real). Returns the header length (kResponseHeaderBytes).
-  // The header terminates with the blank line ("\r\n\r\n") that separates it
-  // from the body; an X-Pad comment header absorbs the padding.
-  size_t BuildHeader(char* buf, uint64_t content_length) const {
-    int n = std::snprintf(buf, kResponseHeaderBytes,
-                          "HTTP/1.0 200 OK\r\n"
-                          "Server: iolite-sim/1.0\r\n"
-                          "Content-Type: text/html\r\n"
-                          "Content-Length: %llu\r\n"
-                          "X-Pad: ",
-                          static_cast<unsigned long long>(content_length));
-    assert(n > 0 && static_cast<size_t>(n) <= kResponseHeaderBytes - 4);
-    for (size_t i = n; i < kResponseHeaderBytes - 4; ++i) {
-      buf[i] = 'x';
-    }
-    std::memcpy(buf + kResponseHeaderBytes - 4, "\r\n\r\n", 4);
-    return kResponseHeaderBytes;
+  // Stage scheduling helper; see RunCpuStage.
+  void CpuStage(std::function<void()> body, std::function<void()> next) {
+    RunCpuStage(ctx_, std::move(body), std::move(next));
+  }
+
+  // Terminal stage: per-segment transmission of the queued response.
+  void TransmitStage(RequestContext* req) {
+    req->conn->TransmitAsync(req->response_bytes, [req] { req->on_done(req); });
   }
 
   iolsim::SimContext* ctx_;
@@ -92,7 +88,7 @@ class FlashServer : public HttpServer {
 
   const char* name() const override { return "Flash"; }
   bool uses_iolite_sockets() const override { return false; }
-  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+  void StartRequest(RequestContext* req) override;
 
  protected:
   // Per-request CPU beyond the data path (event loop, parse, headers).
@@ -128,7 +124,7 @@ class SendfileServer : public HttpServer {
 
   const char* name() const override { return "Flash-sendfile"; }
   bool uses_iolite_sockets() const override { return true; }  // No Tss copy buffer.
-  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+  void StartRequest(RequestContext* req) override;
 };
 
 // Flash-Lite: the IO-Lite API data path.
@@ -139,7 +135,7 @@ class FlashLiteServer : public HttpServer {
 
   const char* name() const override { return "Flash-Lite"; }
   bool uses_iolite_sockets() const override { return true; }
-  size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file) override;
+  void StartRequest(RequestContext* req) override;
 
   iolsim::DomainId domain() const { return domain_; }
 

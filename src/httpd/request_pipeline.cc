@@ -1,0 +1,27 @@
+#include "src/httpd/request_pipeline.h"
+
+#include <cassert>
+#include <utility>
+
+namespace iolhttp {
+
+void RunCpuStage(iolsim::SimContext* ctx, std::function<void()> body,
+                 std::function<void()> next) {
+  assert(!ctx->tally_active() && "stages do not nest");
+  iolsim::Tally tally;
+  {
+    iolsim::TallyScope scope(ctx, &tally);
+    body();
+  }
+  iolsim::EventQueue* events = &ctx->events();
+  if (tally.disk > 0) {
+    ctx->disk().AcquireAsync(
+        events, tally.disk, [ctx, cpu = tally.cpu, next = std::move(next)]() mutable {
+          ctx->cpu().AcquireAsync(&ctx->events(), cpu, std::move(next));
+        });
+  } else {
+    ctx->cpu().AcquireAsync(events, tally.cpu, std::move(next));
+  }
+}
+
+}  // namespace iolhttp

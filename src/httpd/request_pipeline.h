@@ -1,0 +1,56 @@
+// The staged, event-driven request pipeline.
+//
+// A request is a chain of continuations walking the stages
+//
+//   parse -> cache lookup -> (async) disk I/O -> header build / CGI hop
+//         -> checksum + enqueue -> transmit
+//
+// Each stage acquires the machine's contended resources (N-way CPU, disk
+// arm, shared link — see SimContext::cpu()/disk()/link()) at the moment it
+// runs, so the CPU work of one request overlaps the disk and wire time of
+// others. This replaces the old model that executed a request's whole data
+// path under one cost tally and scheduled the summed demand post hoc.
+//
+// Mechanically, a stage's *body* (side effects: cache updates, checksum
+// cache, buffer movement) executes when the stage is entered, under a
+// micro-tally that captures its CPU/disk demand without advancing the
+// clock; the demand is then pushed through the FIFO resources and the next
+// stage resumes at the completion event.
+
+#ifndef SRC_HTTPD_REQUEST_PIPELINE_H_
+#define SRC_HTTPD_REQUEST_PIPELINE_H_
+
+#include <functional>
+
+#include "src/fs/sim_file_system.h"
+#include "src/simos/sim_context.h"
+
+namespace iolnet {
+class TcpConnection;
+}
+
+namespace iolhttp {
+
+// One in-flight request walking the staged pipeline. Owned by the caller
+// (driver, or the synchronous HandleRequest wrapper); must stay alive until
+// `on_done` has fired.
+struct RequestContext {
+  iolnet::TcpConnection* conn = nullptr;
+  iolfs::FileId file = iolfs::kInvalidFile;
+  // Header + body bytes of the response, set once the response is queued.
+  size_t response_bytes = 0;
+  // Invoked exactly once, when the last response byte has left the wire.
+  std::function<void(RequestContext*)> on_done;
+};
+
+// Runs `body` immediately under a micro-tally, then pushes the measured
+// demand through the machine's FIFO resources — disk first if the body did
+// disk work (e.g. metadata I/O), then the CPU — and resumes `next` at the
+// completion event. A body with zero demand still hands control back
+// through the event queue, preserving deterministic stage ordering.
+void RunCpuStage(iolsim::SimContext* ctx, std::function<void()> body,
+                 std::function<void()> next);
+
+}  // namespace iolhttp
+
+#endif  // SRC_HTTPD_REQUEST_PIPELINE_H_

@@ -1,0 +1,38 @@
+#include "src/httpd/response_header.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+namespace iolhttp {
+
+size_t BuildResponseHeader(char* buf, uint64_t content_length) {
+  int n = std::snprintf(buf, kResponseHeaderBytes,
+                        "HTTP/1.0 200 OK\r\n"
+                        "Server: iolite-sim/1.0\r\n"
+                        "Content-Type: text/html\r\n"
+                        "Content-Length: %llu\r\n"
+                        "X-Pad: ",
+                        static_cast<unsigned long long>(content_length));
+  assert(n > 0 && static_cast<size_t>(n) <= kResponseHeaderBytes - 4);
+  for (size_t i = n; i < kResponseHeaderBytes - 4; ++i) {
+    buf[i] = 'x';
+  }
+  std::memcpy(buf + kResponseHeaderBytes - 4, "\r\n\r\n", 4);
+  return kResponseHeaderBytes;
+}
+
+iolite::BufferRef MakeIoLiteHeader(iolsim::SimContext* ctx, iolite::BufferPool* pool,
+                                   uint64_t content_length) {
+  char header[kResponseHeaderBytes];
+  size_t header_len = BuildResponseHeader(header, content_length);
+  iolite::BufferRef hbuf = pool->Allocate(header_len);
+  std::memcpy(hbuf->writable_data(), header, header_len);
+  ctx->ChargeCpu(ctx->cost().CopyCost(header_len));
+  ctx->stats().bytes_copied += header_len;
+  ctx->stats().copy_ops++;
+  hbuf->Seal(header_len);
+  return hbuf;
+}
+
+}  // namespace iolhttp

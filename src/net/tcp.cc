@@ -134,6 +134,32 @@ size_t TcpConnection::SendPrivateCopy(const char* a, size_t na, const char* b, s
   return n;
 }
 
+void TcpConnection::TransmitAsync(size_t n, std::function<void()> done) {
+  if (n == 0) {
+    // Header-only/empty response: one ACK-sized segment still occupies the
+    // link for a negligible-but-ordered slot.
+    iolsim::SimContext* ctx = net_->ctx_;
+    ctx->link().AcquireAsync(&ctx->events(), 0, std::move(done));
+    return;
+  }
+  TransmitSegment(n, std::move(done));
+}
+
+void TcpConnection::TransmitSegment(size_t remaining, std::function<void()> done) {
+  iolsim::SimContext* ctx = net_->ctx_;
+  size_t mtu = static_cast<size_t>(ctx->cost().params().mtu_bytes);
+  size_t seg = remaining < mtu ? remaining : mtu;
+  ctx->link().AcquireAsync(
+      &ctx->events(), ctx->cost().WireTime(seg),
+      [this, rest = remaining - seg, done = std::move(done)]() mutable {
+        if (rest == 0) {
+          done();
+        } else {
+          TransmitSegment(rest, std::move(done));
+        }
+      });
+}
+
 size_t TcpConnection::SendAggregate(const iolite::Aggregate& agg) {
   assert(connected_);
   iolsim::SimContext* ctx = net_->ctx_;

@@ -12,13 +12,15 @@
 //    checksum from its generation-keyed cache; no send-buffer memory is
 //    pinned beyond mbuf headers.
 //
-// Wire time and queueing on the shared NIC array are handled by the
-// benchmark driver (the network is a resource, not a CPU cost).
+// Wire time and queueing on the shared NIC array are staged by
+// TransmitAsync onto the SimContext's link resource, one event per TCP
+// segment (the network is a contended resource, not a CPU cost).
 
 #ifndef SRC_NET_TCP_H_
 #define SRC_NET_TCP_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -95,10 +97,20 @@ class TcpConnection {
   // generation-keyed cache, per-packet processing. Returns bytes queued.
   size_t SendAggregate(const iolite::Aggregate& agg);
 
+  // Stages `n` queued payload bytes onto the shared link as MSS-sized
+  // segments. Each segment is a separate acquisition of the link resource,
+  // reserved from the previous segment's completion event, so concurrent
+  // transmissions interleave at segment granularity instead of serializing
+  // whole responses. `done` runs when the last segment has left the wire.
+  // The CPU-side costs were already charged by the Send* call that queued
+  // the bytes; this models only wire occupancy.
+  void TransmitAsync(size_t n, std::function<void()> done);
+
   uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
   void ChargePackets(size_t n);
+  void TransmitSegment(size_t remaining, std::function<void()> done);
 
   NetworkSubsystem* net_;
   bool iolite_sockets_;

@@ -43,6 +43,11 @@ struct CostParams {
   // Per-packet protocol processing (TCP/IP output, driver, interrupt).
   SimTime per_packet_cost = 28 * kMicrosecond;
 
+  // Number of identical CPUs (service units of the CPU resource). The
+  // paper's testbed is a uniprocessor; the staged request pipeline can
+  // sweep this to model SMP servers.
+  int cpu_count = 1;
+
   // Per-request server application overheads (event loop, HTTP parse,
   // response header generation). Apache pays more: process-per-connection
   // scheduling and per-request process work.

@@ -99,47 +99,79 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
 };
 
-// A FIFO service resource (CPU, disk arm, network link).
+// A FIFO service resource (CPU, disk arm, network link) with one or more
+// identical service units (an N-way CPU is Resource(clock, N)).
 //
-// A job arriving at time `now` with service demand `d` begins service at
-// max(now, available_at) and completes at begin + d. This models a single
-// server queue without materializing the queue itself, which is sufficient
-// for FIFO service and keeps the simulation allocation-free.
+// A job arriving at time `now` with service demand `d` begins service on
+// the earliest-available unit at max(now, unit free time) and completes at
+// begin + d. Reservations are made in call order, so service is FIFO by
+// arrival; callers that arrive via the event queue inherit its deterministic
+// insertion-order tie-breaking. The queue itself is never materialized,
+// which keeps the simulation allocation-free on the sync path.
 class Resource {
  public:
-  explicit Resource(VirtualClock* clock) : clock_(clock) {}
+  explicit Resource(VirtualClock* clock, int units = 1)
+      : clock_(clock), unit_free_at_(units > 0 ? units : 1, 0) {}
 
-  // Reserves the resource for `service` time and returns the completion
-  // time. The caller typically schedules an event at the returned time.
+  // Reserves a unit for `service` time and returns the completion time.
+  // The caller typically schedules an event at the returned time.
   SimTime Acquire(SimTime service) { return AcquireAfter(clock_->now(), service); }
 
-  // Reserves the resource for `service` time starting no earlier than
-  // `earliest` (e.g. after an upstream stage completes).
+  // Reserves a unit for `service` time starting no earlier than `earliest`
+  // (e.g. after an upstream stage completes).
   SimTime AcquireAfter(SimTime earliest, SimTime service) {
     SimTime now = clock_->now();
     SimTime start = earliest > now ? earliest : now;
-    if (available_at_ > start) {
-      start = available_at_;
+    SimTime& unit = unit_free_at_[BestUnit()];
+    if (unit > start) {
+      start = unit;
     }
-    available_at_ = start + service;
+    unit = start + service;
     busy_ += service;
-    return available_at_;
+    return unit;
   }
 
-  // Time at which the resource next becomes free.
-  SimTime available_at() const { return available_at_; }
+  // Asynchronous acquisition: reserves the earliest-available unit starting
+  // now and schedules `done` on `events` at the completion time. FIFO
+  // fairness follows from reservation-at-call order; simultaneous
+  // completions dispatch in schedule order (EventQueue seq numbers).
+  SimTime AcquireAsync(EventQueue* events, SimTime service, std::function<void()> done) {
+    SimTime finish = Acquire(service);
+    events->ScheduleAt(finish, std::move(done));
+    return finish;
+  }
 
-  // Total busy time accumulated (for utilization reporting).
+  // Time at which some unit next becomes free.
+  SimTime available_at() const { return unit_free_at_[BestUnit()]; }
+
+  int units() const { return static_cast<int>(unit_free_at_.size()); }
+
+  // Total busy time accumulated across all units (for utilization
+  // reporting; divide by units() for per-unit utilization).
   SimTime busy_time() const { return busy_; }
 
   void Reset() {
-    available_at_ = 0;
+    for (SimTime& t : unit_free_at_) {
+      t = 0;
+    }
     busy_ = 0;
   }
 
  private:
+  // Earliest-free unit; ties resolve to the lowest index so unit selection
+  // is deterministic.
+  size_t BestUnit() const {
+    size_t best = 0;
+    for (size_t i = 1; i < unit_free_at_.size(); ++i) {
+      if (unit_free_at_[i] < unit_free_at_[best]) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
   VirtualClock* clock_;
-  SimTime available_at_ = 0;
+  std::vector<SimTime> unit_free_at_;
   SimTime busy_ = 0;
 };
 

@@ -6,10 +6,10 @@
 //    immediately. Used by the single-program application benchmarks
 //    (Figure 13) where one process runs alone on the CPU.
 //  * Tally mode: between BeginTally/EndTally, charges accumulate into a
-//    Tally instead of moving the clock. The HTTP benchmark driver runs a
-//    request's data path under a tally, then schedules the accumulated CPU
-//    and disk demand onto FIFO resources so concurrent requests queue
-//    realistically.
+//    Tally instead of moving the clock. The staged HTTP request pipeline
+//    runs each stage's body under a micro-tally, then acquires the
+//    machine's CPU/disk resources for the measured demand so concurrent
+//    requests queue — and overlap — realistically.
 
 #ifndef SRC_SIMOS_SIM_CONTEXT_H_
 #define SRC_SIMOS_SIM_CONTEXT_H_
@@ -40,6 +40,9 @@ class SimContext {
       : cost_(params),
         memory_(params.ram_bytes),
         events_(&clock_),
+        cpu_(&clock_, params.cpu_count),
+        disk_(&clock_),
+        link_(&clock_),
         vm_(std::make_unique<VmSystem>(this)) {
     memory_.Set("kernel", params.kernel_reserved_bytes);
   }
@@ -53,6 +56,13 @@ class SimContext {
   MemoryModel& memory() { return memory_; }
   EventQueue& events() { return events_; }
   VmSystem& vm() { return *vm_; }
+
+  // The machine's contended resources. Staged request pipelines acquire
+  // these asynchronously as each stage runs; sequential (direct-mode)
+  // callers may ignore them and charge costs straight onto the clock.
+  Resource& cpu() { return cpu_; }
+  Resource& disk() { return disk_; }
+  Resource& link() { return link_; }
 
   // Charges `t` of CPU time: into the active tally, or directly onto the
   // clock when no tally is active.
@@ -98,6 +108,9 @@ class SimContext {
   SimStats stats_;
   MemoryModel memory_;
   EventQueue events_;
+  Resource cpu_;
+  Resource disk_;
+  Resource link_;
   std::unique_ptr<VmSystem> vm_;
   Tally* tally_ = nullptr;
 };
