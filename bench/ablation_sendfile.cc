@@ -15,20 +15,20 @@
 
 namespace {
 
-double RunSendfile(size_t file_bytes, bool persistent, int clients, uint64_t requests,
-                   uint64_t warmup) {
+ioldrv::ExperimentResult RunSendfile(size_t file_bytes, bool persistent, int clients,
+                                     uint64_t requests, uint64_t warmup) {
   iolsys::SystemOptions options;
   options.checksum_cache = true;  // Present but unusable by sendfile's path.
   auto sys = std::make_unique<iolsys::System>(options);
   iolfs::FileId f = sys->fs().CreateFile("doc", file_bytes);
   iolhttp::SendfileServer server(&sys->ctx(), &sys->net(), &sys->io());
-  iolhttp::DriverConfig config;
-  config.num_clients = clients;
+  ioldrv::ExperimentConfig config;
   config.persistent_connections = persistent;
   config.max_requests = requests;
   config.warmup_requests = warmup;
-  iolhttp::ClosedLoopDriver driver(&sys->ctx(), &sys->net(), &sys->cache(), &server, config);
-  return driver.Run([f] { return f; }).megabits_per_sec;
+  ioldrv::ClosedLoop workload(clients);
+  ioldrv::Experiment experiment(&sys->ctx(), &sys->net(), &sys->cache(), &server, config);
+  return experiment.Run(&workload, [f] { return f; });
 }
 
 }  // namespace
@@ -44,16 +44,17 @@ int main(int argc, char** argv) {
       "Ablation: sendfile vs IO-Lite vs mmap+writev (Mb/s, nonpersistent)",
       "size_kb\tFlash-Lite\tsendfile\tFlash\tlite/sendfile");
   for (size_t size : {2 * 1024, 10 * 1024, 50 * 1024, 200 * 1024}) {
-    double lite =
+    ioldrv::ExperimentResult lite =
         iolbench::RunSingleFile(ServerKind::kFlashLite, size, false, clients, requests, warmup);
-    double sendfile = RunSendfile(size, false, clients, requests, warmup);
-    double flash =
+    ioldrv::ExperimentResult sendfile = RunSendfile(size, false, clients, requests, warmup);
+    ioldrv::ExperimentResult flash =
         iolbench::RunSingleFile(ServerKind::kFlash, size, false, clients, requests, warmup);
-    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite, sendfile, flash,
-                lite / sendfile);
-    json.Add("Flash-Lite", size / 1024.0, lite);
-    json.Add("sendfile", size / 1024.0, sendfile);
-    json.Add("Flash", size / 1024.0, flash);
+    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite.megabits_per_sec,
+                sendfile.megabits_per_sec, flash.megabits_per_sec,
+                lite.megabits_per_sec / sendfile.megabits_per_sec);
+    json.AddExperiment("Flash-Lite", size / 1024.0, lite);
+    json.AddExperiment("sendfile", size / 1024.0, sendfile);
+    json.AddExperiment("Flash", size / 1024.0, flash);
   }
   std::printf("# expectation: Flash < sendfile < Flash-Lite; the IO-Lite margin is the "
               "cached checksum\n");

@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/experiment.h"
+#include "src/driver/fleet.h"
+#include "src/driver/workload.h"
 #include "src/httpd/cgi.h"
-#include "src/httpd/driver.h"
 #include "src/httpd/http_server.h"
 #include "src/system/system.h"
 #include "src/workload/trace.h"
@@ -55,6 +57,11 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
 // Accumulates (series, x, value) rows and writes them as one JSON document:
 //   {"figure": "...", "smoke": false, "rows": [{"series": ..., "x": ...,
 //    "value": ...}, ...]}
+// Rows added via AddExperiment carry the full structured result — latency
+// percentiles alongside the throughput value:
+//   {"series": ..., "x": ..., "value": <Mb/s>, "requests": ...,
+//    "cache_hit_rate": ..., "p50_ms": ..., "p90_ms": ..., "p99_ms": ...,
+//    "max_ms": ...}
 // A reporter with an empty path is a no-op, so benchmarks can call Add
 // unconditionally.
 class JsonReporter {
@@ -66,7 +73,17 @@ class JsonReporter {
 
   void Add(const std::string& series, double x, double value) {
     if (!path_.empty()) {
-      rows_.push_back(Row{series, x, value});
+      rows_.push_back(Row{series, x, value, false, {}, 0, 0});
+    }
+  }
+
+  // Serializes the structured result: `value` is throughput (Mb/s), the
+  // latency summary rides along as explicit fields.
+  void AddExperiment(const std::string& series, double x,
+                     const ioldrv::ExperimentResult& result) {
+    if (!path_.empty()) {
+      rows_.push_back(Row{series, x, result.megabits_per_sec, true, result.latency,
+                          result.requests, result.cache_hit_rate});
     }
   }
 
@@ -86,8 +103,18 @@ class JsonReporter {
     std::fprintf(f, "{\"figure\": \"%s\", \"smoke\": %s, \"rows\": [", figure_.c_str(),
                  smoke_ ? "true" : "false");
     for (size_t i = 0; i < rows_.size(); ++i) {
-      std::fprintf(f, "%s\n  {\"series\": \"%s\", \"x\": %.6g, \"value\": %.6g}",
-                   i == 0 ? "" : ",", rows_[i].series.c_str(), rows_[i].x, rows_[i].value);
+      const Row& r = rows_[i];
+      std::fprintf(f, "%s\n  {\"series\": \"%s\", \"x\": %.6g, \"value\": %.6g",
+                   i == 0 ? "" : ",", r.series.c_str(), r.x, r.value);
+      if (r.has_latency) {
+        std::fprintf(f,
+                     ", \"requests\": %llu, \"cache_hit_rate\": %.6g, \"p50_ms\": %.6g, "
+                     "\"p90_ms\": %.6g, \"p99_ms\": %.6g, \"max_ms\": %.6g",
+                     static_cast<unsigned long long>(r.requests), r.cache_hit_rate,
+                     r.latency.p50_ms, r.latency.p90_ms, r.latency.p99_ms,
+                     r.latency.max_ms);
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n]}\n");
     std::fclose(f);
@@ -99,6 +126,10 @@ class JsonReporter {
     std::string series;
     double x;
     double value;
+    bool has_latency;
+    ioldrv::LatencySummary latency;
+    uint64_t requests;
+    double cache_hit_rate;
   };
   std::string figure_;
   std::string path_;
@@ -146,74 +177,84 @@ struct Bench {
   std::unique_ptr<iolhttp::HttpServer> server;
 };
 
+// Overwrites the cache-policy and checksum-cache fields `kind` determines;
+// everything else (cpu_count, disk_count, RAM) stays as the caller set it.
+inline void ApplyKindOptions(ServerKind kind, iolsys::SystemOptions* options) {
+  switch (kind) {
+    case ServerKind::kFlashLite:
+      options->policy = iolsys::SystemOptions::Policy::kGds;
+      options->checksum_cache = true;
+      break;
+    case ServerKind::kFlashLiteLru:
+      options->policy = iolsys::SystemOptions::Policy::kPlainLru;
+      options->checksum_cache = true;
+      break;
+    case ServerKind::kFlashLiteNoCksum:
+      options->policy = iolsys::SystemOptions::Policy::kGds;
+      options->checksum_cache = false;
+      break;
+    case ServerKind::kFlashLiteLruNoCksum:
+      options->policy = iolsys::SystemOptions::Policy::kPlainLru;
+      options->checksum_cache = false;
+      break;
+    default:
+      // The copy-based servers use the kernel's default cache policy.
+      options->policy = iolsys::SystemOptions::Policy::kPaperLru;
+      options->checksum_cache = false;  // No identity to key a cache on.
+      break;
+  }
+}
+
+// One server instance of `kind` on an existing machine. Fleets call this N
+// times over one System.
+inline std::unique_ptr<iolhttp::HttpServer> MakeServer(ServerKind kind,
+                                                       iolsys::System* sys) {
+  switch (kind) {
+    case ServerKind::kFlash:
+      return std::make_unique<iolhttp::FlashServer>(&sys->ctx(), &sys->net(), &sys->io());
+    case ServerKind::kApache:
+      return std::make_unique<iolhttp::ApacheServer>(&sys->ctx(), &sys->net(), &sys->io());
+    default:
+      return std::make_unique<iolhttp::FlashLiteServer>(&sys->ctx(), &sys->net(),
+                                                        &sys->io(), &sys->runtime());
+  }
+}
+
 // Builds the machine + server for `kind`. `options` seeds everything the
 // kind does not determine (e.g. cost.cpu_count for SMP sweeps); the cache
 // policy and checksum-cache fields are derived from the kind and overwrite
 // whatever the caller set.
 inline Bench MakeBench(ServerKind kind, iolsys::SystemOptions options = {}) {
-  switch (kind) {
-    case ServerKind::kFlashLite:
-      options.policy = iolsys::SystemOptions::Policy::kGds;
-      options.checksum_cache = true;
-      break;
-    case ServerKind::kFlashLiteLru:
-      options.policy = iolsys::SystemOptions::Policy::kPlainLru;
-      options.checksum_cache = true;
-      break;
-    case ServerKind::kFlashLiteNoCksum:
-      options.policy = iolsys::SystemOptions::Policy::kGds;
-      options.checksum_cache = false;
-      break;
-    case ServerKind::kFlashLiteLruNoCksum:
-      options.policy = iolsys::SystemOptions::Policy::kPlainLru;
-      options.checksum_cache = false;
-      break;
-    default:
-      // The copy-based servers use the kernel's default cache policy.
-      options.policy = iolsys::SystemOptions::Policy::kPaperLru;
-      options.checksum_cache = false;  // No identity to key a cache on.
-      break;
-  }
+  ApplyKindOptions(kind, &options);
   Bench b;
   b.sys = std::make_unique<iolsys::System>(options);
-  switch (kind) {
-    case ServerKind::kFlash:
-      b.server = std::make_unique<iolhttp::FlashServer>(&b.sys->ctx(), &b.sys->net(),
-                                                        &b.sys->io());
-      break;
-    case ServerKind::kApache:
-      b.server = std::make_unique<iolhttp::ApacheServer>(&b.sys->ctx(), &b.sys->net(),
-                                                         &b.sys->io());
-      break;
-    default:
-      b.server = std::make_unique<iolhttp::FlashLiteServer>(&b.sys->ctx(), &b.sys->net(),
-                                                            &b.sys->io(), &b.sys->runtime());
-      break;
-  }
+  b.server = MakeServer(kind, b.sys.get());
   return b;
 }
 
 // Single-file experiment (Figures 3 and 4): all clients request one file.
-inline double RunSingleFile(ServerKind kind, size_t file_bytes, bool persistent,
-                            int clients = 40, uint64_t requests = 4000,
-                            uint64_t warmup = 200) {
+inline ioldrv::ExperimentResult RunSingleFile(ServerKind kind, size_t file_bytes,
+                                              bool persistent, int clients = 40,
+                                              uint64_t requests = 4000,
+                                              uint64_t warmup = 200) {
   Bench b = MakeBench(kind);
   iolfs::FileId f = b.sys->fs().CreateFile("doc", file_bytes);
-  iolhttp::DriverConfig config;
-  config.num_clients = clients;
+  ioldrv::ExperimentConfig config;
   config.persistent_connections = persistent;
   config.max_requests = requests;
   config.warmup_requests = warmup;
-  iolhttp::ClosedLoopDriver driver(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
-                                   b.server.get(), config);
-  return driver.Run([f] { return f; }).megabits_per_sec;
+  ioldrv::ClosedLoop workload(clients);
+  ioldrv::Experiment experiment(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
+                                b.server.get(), config);
+  return experiment.Run(&workload, [f] { return f; });
 }
 
 // CGI experiment (Figures 5 and 6).
-inline double RunCgi(ServerKind kind, size_t doc_bytes, bool persistent, int clients = 40,
-                     uint64_t requests = 4000,
-                     iolhttp::CgiTransport transport = iolhttp::CgiTransport::kSimulatedPipe,
-                     uint64_t warmup = 200) {
+inline ioldrv::ExperimentResult RunCgi(
+    ServerKind kind, size_t doc_bytes, bool persistent, int clients = 40,
+    uint64_t requests = 4000,
+    iolhttp::CgiTransport transport = iolhttp::CgiTransport::kSimulatedPipe,
+    uint64_t warmup = 200) {
   iolsys::SystemOptions options;
   options.checksum_cache = IsLite(kind);
   auto sys = std::make_unique<iolsys::System>(options);
@@ -226,33 +267,27 @@ inline double RunCgi(ServerKind kind, size_t doc_bytes, bool persistent, int cli
     server = std::make_unique<iolhttp::CopyCgiServer>(&sys->ctx(), &sys->net(), &sys->io(),
                                                       doc_bytes, kind == ServerKind::kApache);
   }
-  iolhttp::DriverConfig config;
-  config.num_clients = clients;
+  ioldrv::ExperimentConfig config;
   config.persistent_connections = persistent;
   config.max_requests = requests;
   config.warmup_requests = warmup;
-  iolhttp::ClosedLoopDriver driver(&sys->ctx(), &sys->net(), &sys->cache(), server.get(),
-                                   config);
-  return driver.Run([] { return iolfs::FileId{1}; }).megabits_per_sec;
+  ioldrv::ClosedLoop workload(clients);
+  ioldrv::Experiment experiment(&sys->ctx(), &sys->net(), &sys->cache(), server.get(),
+                                config);
+  return experiment.Run(&workload, [] { return iolfs::FileId{1}; });
 }
-
-struct TraceRunResult {
-  double mbps = 0;
-  double hit_rate = 0;
-};
 
 // Trace replay (Figures 8, 10, 11, 12). `sequential` replays the log in
 // order with a shared cursor (Figure 8); otherwise clients pick random
 // entries, SpecWeb96-style (Figures 10-12).
-inline TraceRunResult RunTrace(ServerKind kind, const iolwl::Trace& trace, int clients,
-                               uint64_t requests, bool sequential,
-                               iolsim::SimTime round_trip_delay = 0,
-                               uint64_t warmup = 2000) {
+inline ioldrv::ExperimentResult RunTrace(ServerKind kind, const iolwl::Trace& trace,
+                                         int clients, uint64_t requests, bool sequential,
+                                         iolsim::SimTime round_trip_delay = 0,
+                                         uint64_t warmup = 2000) {
   Bench b = MakeBench(kind);
   std::vector<iolfs::FileId> ids = trace.Materialize(&b.sys->fs());
 
-  iolhttp::DriverConfig config;
-  config.num_clients = clients;
+  ioldrv::ExperimentConfig config;
   config.persistent_connections = false;
   config.max_requests = requests;
   config.warmup_requests = warmup;
@@ -261,13 +296,14 @@ inline TraceRunResult RunTrace(ServerKind kind, const iolwl::Trace& trace, int c
   if (kind == ServerKind::kApache) {
     config.max_concurrent = 150;  // Apache 1.3's default MaxClients.
   }
-  iolhttp::ClosedLoopDriver driver(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
-                                   b.server.get(), config);
+  ioldrv::ClosedLoop workload(clients);
+  ioldrv::Experiment experiment(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
+                                b.server.get(), config);
 
   size_t cursor = 0;
   iolsim::Rng rng(7777);
   const std::vector<uint32_t>& reqs = trace.requests();
-  iolhttp::DriverResult result = driver.Run([&]() -> iolfs::FileId {
+  return experiment.Run(&workload, [&]() -> iolfs::FileId {
     uint32_t rank;
     if (sequential) {
       rank = reqs[cursor++ % reqs.size()];
@@ -276,10 +312,6 @@ inline TraceRunResult RunTrace(ServerKind kind, const iolwl::Trace& trace, int c
     }
     return ids[rank];
   });
-  TraceRunResult out;
-  out.mbps = result.megabits_per_sec;
-  out.hit_rate = result.cache_hit_rate;
-  return out;
 }
 
 // Formatting helpers.

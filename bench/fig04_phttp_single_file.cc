@@ -26,17 +26,18 @@ int main(int argc, char** argv) {
   iolbench::PrintHeader("Figure 4: persistent-HTTP single-file bandwidth (Mb/s)",
                         "size_kb\tFlash-Lite\tFlash\tApache\tlite/flash");
   for (size_t size : sizes) {
-    double lite =
+    ioldrv::ExperimentResult lite =
         iolbench::RunSingleFile(ServerKind::kFlashLite, size, true, clients, requests, warmup);
-    double flash =
+    ioldrv::ExperimentResult flash =
         iolbench::RunSingleFile(ServerKind::kFlash, size, true, clients, requests, warmup);
-    double apache =
+    ioldrv::ExperimentResult apache =
         iolbench::RunSingleFile(ServerKind::kApache, size, true, clients, requests, warmup);
-    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite, flash, apache,
-                lite / flash);
-    json.Add("Flash-Lite", size / 1024.0, lite);
-    json.Add("Flash", size / 1024.0, flash);
-    json.Add("Apache", size / 1024.0, apache);
+    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite.megabits_per_sec,
+                flash.megabits_per_sec, apache.megabits_per_sec,
+                lite.megabits_per_sec / flash.megabits_per_sec);
+    json.AddExperiment("Flash-Lite", size / 1024.0, lite);
+    json.AddExperiment("Flash", size / 1024.0, flash);
+    json.AddExperiment("Apache", size / 1024.0, apache);
   }
   std::printf(
       "# paper: Flash-Lite within 10%% of saturation at 17KB, saturates >=30KB; up to +43%% "

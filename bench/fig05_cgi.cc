@@ -26,27 +26,35 @@ int main(int argc, char** argv) {
       "Figure 5: HTTP/FastCGI bandwidth (Mb/s), nonpersistent",
       "size_kb\tFlash-Lite\tFL-shm\tFlash\tApache\tlite_cgi/static\tflash_cgi/static");
   for (size_t size : sizes) {
-    double lite_cgi = iolbench::RunCgi(ServerKind::kFlashLite, size, false, clients, requests,
-                                       iolhttp::CgiTransport::kSimulatedPipe, warmup);
+    ioldrv::ExperimentResult lite_cgi =
+        iolbench::RunCgi(ServerKind::kFlashLite, size, false, clients, requests,
+                         iolhttp::CgiTransport::kSimulatedPipe, warmup);
     // Same server over the real shared-memory ring transport (src/ipc):
     // identical responses, payload crossing as descriptors.
-    double lite_cgi_shm = iolbench::RunCgi(ServerKind::kFlashLite, size, false, clients,
-                                           requests, iolhttp::CgiTransport::kShmRing, warmup);
-    double flash_cgi = iolbench::RunCgi(ServerKind::kFlash, size, false, clients, requests,
-                                        iolhttp::CgiTransport::kSimulatedPipe, warmup);
-    double apache_cgi = iolbench::RunCgi(ServerKind::kApache, size, false, clients, requests,
-                                         iolhttp::CgiTransport::kSimulatedPipe, warmup);
+    ioldrv::ExperimentResult lite_cgi_shm =
+        iolbench::RunCgi(ServerKind::kFlashLite, size, false, clients, requests,
+                         iolhttp::CgiTransport::kShmRing, warmup);
+    ioldrv::ExperimentResult flash_cgi =
+        iolbench::RunCgi(ServerKind::kFlash, size, false, clients, requests,
+                         iolhttp::CgiTransport::kSimulatedPipe, warmup);
+    ioldrv::ExperimentResult apache_cgi =
+        iolbench::RunCgi(ServerKind::kApache, size, false, clients, requests,
+                         iolhttp::CgiTransport::kSimulatedPipe, warmup);
     double lite_static =
-        iolbench::RunSingleFile(ServerKind::kFlashLite, size, false, clients, requests, warmup);
+        iolbench::RunSingleFile(ServerKind::kFlashLite, size, false, clients, requests, warmup)
+            .megabits_per_sec;
     double flash_static =
-        iolbench::RunSingleFile(ServerKind::kFlash, size, false, clients, requests, warmup);
-    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", size / 1024.0, lite_cgi,
-                lite_cgi_shm, flash_cgi, apache_cgi, lite_cgi / lite_static,
-                flash_cgi / flash_static);
-    json.Add("Flash-Lite-CGI", size / 1024.0, lite_cgi);
-    json.Add("Flash-Lite-CGI-shm", size / 1024.0, lite_cgi_shm);
-    json.Add("Flash-CGI", size / 1024.0, flash_cgi);
-    json.Add("Apache-CGI", size / 1024.0, apache_cgi);
+        iolbench::RunSingleFile(ServerKind::kFlash, size, false, clients, requests, warmup)
+            .megabits_per_sec;
+    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", size / 1024.0,
+                lite_cgi.megabits_per_sec, lite_cgi_shm.megabits_per_sec,
+                flash_cgi.megabits_per_sec, apache_cgi.megabits_per_sec,
+                lite_cgi.megabits_per_sec / lite_static,
+                flash_cgi.megabits_per_sec / flash_static);
+    json.AddExperiment("Flash-Lite-CGI", size / 1024.0, lite_cgi);
+    json.AddExperiment("Flash-Lite-CGI-shm", size / 1024.0, lite_cgi_shm);
+    json.AddExperiment("Flash-CGI", size / 1024.0, flash_cgi);
+    json.AddExperiment("Apache-CGI", size / 1024.0, apache_cgi);
   }
   std::printf(
       "# paper: copy-based servers at ~half their static bandwidth; Flash-Lite CGI ~87%% of "

@@ -23,19 +23,21 @@ int main(int argc, char** argv) {
   iolbench::PrintHeader("Figure 6: persistent-HTTP/FastCGI bandwidth (Mb/s)",
                         "size_kb\tFlash-Lite\tFlash\tApache\tflash_gain_vs_http10");
   for (size_t size : sizes) {
-    double lite =
+    ioldrv::ExperimentResult lite =
         iolbench::RunCgi(ServerKind::kFlashLite, size, true, clients, requests, pipe, warmup);
-    double flash =
+    ioldrv::ExperimentResult flash =
         iolbench::RunCgi(ServerKind::kFlash, size, true, clients, requests, pipe, warmup);
-    double apache =
+    ioldrv::ExperimentResult apache =
         iolbench::RunCgi(ServerKind::kApache, size, true, clients, requests, pipe, warmup);
     double flash_http10 =
-        iolbench::RunCgi(ServerKind::kFlash, size, false, clients, requests, pipe, warmup);
-    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite, flash, apache,
-                flash / flash_http10);
-    json.Add("Flash-Lite-CGI", size / 1024.0, lite);
-    json.Add("Flash-CGI", size / 1024.0, flash);
-    json.Add("Apache-CGI", size / 1024.0, apache);
+        iolbench::RunCgi(ServerKind::kFlash, size, false, clients, requests, pipe, warmup)
+            .megabits_per_sec;
+    std::printf("%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", size / 1024.0, lite.megabits_per_sec,
+                flash.megabits_per_sec, apache.megabits_per_sec,
+                flash.megabits_per_sec / flash_http10);
+    json.AddExperiment("Flash-Lite-CGI", size / 1024.0, lite);
+    json.AddExperiment("Flash-CGI", size / 1024.0, flash);
+    json.AddExperiment("Apache-CGI", size / 1024.0, apache);
   }
   std::printf(
       "# paper: Flash/Apache cannot exploit persistence (pipe-IPC-bound); Flash-Lite can\n");

@@ -39,11 +39,12 @@ int main(int argc, char** argv) {
         iolbench::RunTrace(ServerKind::kFlash, trace, clients, kRequests, true, 0, warmup);
     auto apache =
         iolbench::RunTrace(ServerKind::kApache, trace, clients, kRequests, true, 0, warmup);
-    std::printf("%s\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", spec.name.c_str(), lite.mbps,
-                flash.mbps, apache.mbps, lite.hit_rate, flash.hit_rate);
-    json.Add("Flash-Lite:" + spec.name, trace_index, lite.mbps);
-    json.Add("Flash:" + spec.name, trace_index, flash.mbps);
-    json.Add("Apache:" + spec.name, trace_index, apache.mbps);
+    std::printf("%s\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", spec.name.c_str(),
+                lite.megabits_per_sec, flash.megabits_per_sec, apache.megabits_per_sec,
+                lite.cache_hit_rate, flash.cache_hit_rate);
+    json.AddExperiment("Flash-Lite:" + spec.name, trace_index, lite);
+    json.AddExperiment("Flash:" + spec.name, trace_index, flash);
+    json.AddExperiment("Apache:" + spec.name, trace_index, apache);
     ++trace_index;
   }
   std::printf(

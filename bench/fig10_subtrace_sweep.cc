@@ -38,12 +38,13 @@ int main(int argc, char** argv) {
     auto apache =
         iolbench::RunTrace(ServerKind::kApache, prefix, kClients, kRequests, false, 0, kWarmup);
     std::printf("%.0f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n", prefix.total_bytes() / 1048576.0,
-                lite.mbps, flash.mbps, apache.mbps, lite.mbps / flash.mbps,
-                flash.mbps / apache.mbps);
+                lite.megabits_per_sec, flash.megabits_per_sec, apache.megabits_per_sec,
+                lite.megabits_per_sec / flash.megabits_per_sec,
+                flash.megabits_per_sec / apache.megabits_per_sec);
     double x = prefix.total_bytes() / 1048576.0;
-    json.Add("Flash-Lite", x, lite.mbps);
-    json.Add("Flash", x, flash.mbps);
-    json.Add("Apache", x, apache.mbps);
+    json.AddExperiment("Flash-Lite", x, lite);
+    json.AddExperiment("Flash", x, flash);
+    json.AddExperiment("Apache", x, apache);
   }
   std::printf(
       "# paper: Flash-Lite +34-50%% (in-memory) and +44-67%% (disk-bound) over Flash; "

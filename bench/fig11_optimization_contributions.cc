@@ -37,13 +37,14 @@ int main(int argc, char** argv) {
     auto lru = run(ServerKind::kFlashLiteLruNoCksum);
     auto flash = run(ServerKind::kFlash);
     std::printf("%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n", prefix.total_bytes() / 1048576.0,
-                gds_ck.mbps, lru_ck.mbps, gds.mbps, lru.mbps, flash.mbps);
+                gds_ck.megabits_per_sec, lru_ck.megabits_per_sec, gds.megabits_per_sec,
+                lru.megabits_per_sec, flash.megabits_per_sec);
     double x = prefix.total_bytes() / 1048576.0;
-    json.Add("FL-gds-ck", x, gds_ck.mbps);
-    json.Add("FL-lru-ck", x, lru_ck.mbps);
-    json.Add("FL-gds", x, gds.mbps);
-    json.Add("FL-lru", x, lru.mbps);
-    json.Add("Flash", x, flash.mbps);
+    json.AddExperiment("FL-gds-ck", x, gds_ck);
+    json.AddExperiment("FL-lru-ck", x, lru_ck);
+    json.AddExperiment("FL-gds", x, gds);
+    json.AddExperiment("FL-lru", x, lru);
+    json.AddExperiment("Flash", x, flash);
   }
   std::printf(
       "# paper: copy elimination 21-33%% (Flash vs FL-LRU-nocksum, in-memory); checksum "

@@ -48,18 +48,19 @@ int main(int argc, char** argv) {
                                     false, point.rtt, kWarmup);
     auto apache = iolbench::RunTrace(ServerKind::kApache, prefix, clients, kRequests,
                                      false, point.rtt, kWarmup);
-    std::printf("%s\t%d\t%.1f\t%.1f\t%.1f\n", point.label, clients, lite.mbps,
-                flash.mbps, apache.mbps);
+    std::printf("%s\t%d\t%.1f\t%.1f\t%.1f\n", point.label, clients, lite.megabits_per_sec,
+                flash.megabits_per_sec, apache.megabits_per_sec);
     double x = iolsim::ToSeconds(point.rtt) * 1e3;
-    json.Add("Flash-Lite", x, lite.mbps);
-    json.Add("Flash", x, flash.mbps);
-    json.Add("Apache", x, apache.mbps);
+    json.AddExperiment("Flash-Lite", x, lite);
+    json.AddExperiment("Flash", x, flash);
+    json.AddExperiment("Apache", x, apache);
     if (first.empty()) {
-      first = {lite.mbps, flash.mbps, apache.mbps};
+      first = {lite.megabits_per_sec, flash.megabits_per_sec, apache.megabits_per_sec};
     } else if (&point == &points.back()) {
       std::printf("# drop vs LAN: Flash-Lite %.0f%%, Flash %.0f%%, Apache %.0f%%\n",
-                  100.0 * (1 - lite.mbps / first[0]), 100.0 * (1 - flash.mbps / first[1]),
-                  100.0 * (1 - apache.mbps / first[2]));
+                  100.0 * (1 - lite.megabits_per_sec / first[0]),
+                  100.0 * (1 - flash.megabits_per_sec / first[1]),
+                  100.0 * (1 - apache.megabits_per_sec / first[2]));
     }
   }
   std::printf("# paper: Flash -33%%, Apache -50%%, Flash-Lite flat or slightly up\n");

@@ -30,10 +30,11 @@ for bin in "$build_dir"/bench_fig* "$build_dir"/bench_sweep_* "$build_dir"/bench
   [ -x "$bin" ] || continue
   found=1
   name=$(basename "$bin")
-  # bench_fig03_http_single_file -> BENCH_fig03.json; others keep full stem.
+  # bench_fig03_http_single_file -> BENCH_fig03.json; unnumbered figures
+  # (bench_fig_latency_load) and sweeps keep their full stem.
   case "$name" in
-    bench_fig*)
-      short=$(echo "$name" | sed 's/^bench_\(fig[0-9]*\).*/\1/') ;;
+    bench_fig[0-9]*)
+      short=$(echo "$name" | sed 's/^bench_\(fig[0-9][0-9]*\).*/\1/') ;;
     *)
       short=${name#bench_} ;;
   esac
@@ -46,3 +47,18 @@ if [ "$found" = 0 ]; then
   echo "no bench binaries found under $build_dir (configure + build first)" >&2
   exit 1
 fi
+
+# Schema smoke check: the latency-aware benches must emit non-zero p99
+# fields (a zeroed histogram means telemetry silently broke).
+for f in "$out_dir/BENCH_fig_latency_load.json" "$out_dir/BENCH_sweep_fleet.json"; do
+  [ -f "$f" ] || continue
+  if ! grep -q '"p99_ms": ' "$f"; then
+    echo "schema check failed: no p99_ms fields in $f" >&2
+    exit 1
+  fi
+  if ! grep '"p99_ms": ' "$f" | grep -qv '"p99_ms": 0[,}]'; then
+    echo "schema check failed: every p99_ms is zero in $f" >&2
+    exit 1
+  fi
+  echo "== schema check ok: $f has non-zero p99_ms"
+done

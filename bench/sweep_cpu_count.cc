@@ -21,14 +21,14 @@ double RunWithCpus(iolbench::ServerKind kind, int cpus, size_t file_bytes, int c
   options.cost.cpu_count = cpus;
   iolbench::Bench b = iolbench::MakeBench(kind, options);
   iolfs::FileId f = b.sys->fs().CreateFile("doc", file_bytes);
-  iolhttp::DriverConfig config;
-  config.num_clients = clients;
+  ioldrv::ExperimentConfig config;
   config.persistent_connections = true;
   config.max_requests = requests;
   config.warmup_requests = warmup;
-  iolhttp::ClosedLoopDriver driver(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
-                                   b.server.get(), config);
-  return driver.Run([f] { return f; }).megabits_per_sec;
+  ioldrv::ClosedLoop workload(clients);
+  ioldrv::Experiment experiment(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
+                                b.server.get(), config);
+  return experiment.Run(&workload, [f] { return f; }).megabits_per_sec;
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+// Fleet scaling — N server instances behind a load balancer, one client
+// population (ROADMAP: multi-server fleets).
+//
+// Each fleet member models one machine's CPU and disk (cpu_count and
+// disk_count scale with N) while all members share the front link, the
+// fabric every scale-out deployment funnels through. Copy-based servers
+// are CPU-bound per member on 10 KB documents, so their fleets scale near
+// linearly until the shared link saturates; Flash-Lite sits near the link
+// from one member, so its curve flattens almost immediately — the paper's
+// copy-avoidance argument restated as a provisioning statement: one
+// IO-Lite server replaces most of a copy-based fleet.
+//
+// The balancer axis rides along: round-robin vs least-connections for the
+// copy-based fleet, identical mean throughput on this homogeneous workload
+// but tighter tails under least-connections.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+ioldrv::ExperimentResult RunFleet(iolbench::ServerKind kind, int fleet_size,
+                                  bool least_connections, int clients,
+                                  uint64_t requests, uint64_t warmup) {
+  iolsys::SystemOptions options;
+  options.cost.cpu_count = fleet_size;   // One CPU per member...
+  options.cost.disk_count = fleet_size;  // ...one disk arm per member...
+  iolbench::ApplyKindOptions(kind, &options);
+  auto sys = std::make_unique<iolsys::System>(options);  // ...one shared link.
+  iolfs::FileId f = sys->fs().CreateFile("doc", 10 * 1024);
+
+  std::vector<std::unique_ptr<iolhttp::HttpServer>> servers;
+  std::vector<iolhttp::HttpServer*> members;
+  for (int i = 0; i < fleet_size; ++i) {
+    servers.push_back(iolbench::MakeServer(kind, sys.get()));
+    members.push_back(servers.back().get());
+  }
+  std::unique_ptr<ioldrv::LoadBalancer> balancer;
+  if (least_connections) {
+    balancer = std::make_unique<ioldrv::LeastConnectionsBalancer>();
+  }
+  ioldrv::Fleet fleet(members, std::move(balancer));
+
+  ioldrv::ExperimentConfig config;
+  config.persistent_connections = true;
+  config.max_requests = requests;
+  config.warmup_requests = warmup;
+  ioldrv::ClosedLoop workload(clients);
+  ioldrv::Experiment experiment(&sys->ctx(), &sys->net(), &sys->cache(),
+                                std::move(fleet), config);
+  return experiment.Run(&workload, [f] { return f; });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using iolbench::ServerKind;
+  iolbench::BenchOptions opts = iolbench::ParseBenchOptions(argc, argv);
+  iolbench::JsonReporter json("sweep_fleet", opts);
+  const int clients = opts.Clients(96);
+  const uint64_t requests = opts.Requests(4000);
+  const uint64_t warmup = opts.Warmup(200);
+
+  iolbench::PrintHeader(
+      "Fleet sweep: N members (1 CPU + 1 disk each), shared front link, "
+      "10KB persistent HTTP (Mb/s)",
+      "fleet\tFlash-Lite\tFlash\tApache\tApache-lc\tapache_p99_rr/lc");
+  for (int n : {1, 2, 4, 8}) {
+    ioldrv::ExperimentResult lite =
+        RunFleet(ServerKind::kFlashLite, n, false, clients, requests, warmup);
+    ioldrv::ExperimentResult flash =
+        RunFleet(ServerKind::kFlash, n, false, clients, requests, warmup);
+    ioldrv::ExperimentResult apache =
+        RunFleet(ServerKind::kApache, n, false, clients, requests, warmup);
+    ioldrv::ExperimentResult apache_lc =
+        RunFleet(ServerKind::kApache, n, true, clients, requests, warmup);
+    std::printf("%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n", n, lite.megabits_per_sec,
+                flash.megabits_per_sec, apache.megabits_per_sec,
+                apache_lc.megabits_per_sec,
+                apache_lc.latency.p99_ms > 0
+                    ? apache.latency.p99_ms / apache_lc.latency.p99_ms
+                    : 0.0);
+    json.AddExperiment("Flash-Lite", n, lite);
+    json.AddExperiment("Flash", n, flash);
+    json.AddExperiment("Apache", n, apache);
+    json.AddExperiment("Apache/least-conn", n, apache_lc);
+    if (n == 4) {
+      std::printf("# 4-member Apache fleet share (round-robin): ");
+      for (const ioldrv::ServerShare& s : apache.per_server) {
+        std::printf("%llu ", static_cast<unsigned long long>(s.requests));
+      }
+      std::printf("requests/member\n");
+    }
+  }
+  std::printf("# expectation: copy-based fleets scale until the shared link; "
+              "Flash-Lite near the link from one member\n");
+  return json.Flush() ? 0 : 1;
+}

@@ -1,0 +1,329 @@
+#include "src/driver/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ioldrv {
+
+uint64_t Experiment::CacheBudget() const {
+  // The file cache may use whatever physical memory is left after the
+  // kernel, server processes and socket send buffers. The IO-Lite window
+  // reservation is excluded from "used": the cache's own data lives there,
+  // so counting it would shrink the budget by the cache's own size.
+  uint64_t non_window =
+      ctx_->memory().used() - ctx_->memory().reservation("iolite_window");
+  uint64_t total = ctx_->memory().total();
+  return total > non_window ? total - non_window : 0;
+}
+
+size_t Experiment::AddLane(size_t conn_index) {
+  lanes_.push_back(std::make_unique<Lane>());
+  size_t lane = lanes_.size() - 1;
+  Lane& l = *lanes_[lane];
+  l.conn = conns_[conn_index].get();
+  l.conn_index = conn_index;
+  l.req.conn = l.conn;
+  l.req.on_done = [this, lane](iolhttp::RequestContext*) { OnServerDone(lane); };
+  return lane;
+}
+
+void Experiment::AddConnection() {
+  // Homogeneous-fleet assumption: member 0's socket data path stands for
+  // all members (a connection does not know its server until arrival).
+  conns_.push_back(std::make_unique<iolnet::TcpConnection>(
+      net_, fleet_.server(0)->uses_iolite_sockets()));
+}
+
+void Experiment::UpdateSteadyMemory() {
+  int pool = static_cast<int>(conns_.size());
+  int effective_concurrent = pool;
+  int fleet_cap = config_.max_concurrent > 0
+                      ? config_.max_concurrent * static_cast<int>(fleet_.size())
+                      : 0;
+  if (fleet_cap > 0 && fleet_cap < effective_concurrent) {
+    effective_concurrent = fleet_cap;
+  }
+  iolhttp::HttpServer* server = fleet_.server(0);
+  if (config_.persistent_connections) {
+    // Connections stay open; their own reservations (made by Connect)
+    // cover the socket buffers. Server processes:
+    ctx_->memory().Set("server_processes",
+                       static_cast<uint64_t>(effective_concurrent) *
+                           server->per_connection_memory());
+  } else {
+    uint64_t per_conn =
+        server->uses_iolite_sockets()
+            ? 2048
+            : static_cast<uint64_t>(ctx_->cost().params().socket_send_buffer_bytes *
+                                    ctx_->cost().params().send_buffer_utilization);
+    ctx_->memory().Set("connections_steady",
+                       static_cast<uint64_t>(pool) * per_conn +
+                           static_cast<uint64_t>(effective_concurrent) *
+                               server->per_connection_memory());
+  }
+}
+
+ExperimentResult Experiment::Run(Workload* workload, RequestSource next_file,
+                                 Telemetry* sink) {
+  if (ran_) {
+    // Lanes, counters and the population's memory reservations are
+    // single-run state; silently reusing them would fold one run's tail
+    // into the next run's measurements. Die loudly (release builds skip
+    // asserts); build a fresh Experiment per run instead.
+    std::fprintf(stderr, "Experiment: Run() called twice on the same instance\n");
+    std::abort();
+  }
+  ran_ = true;
+  workload_ = workload;
+  workload_->Reset();
+  next_file_ = std::move(next_file);
+  telemetry_ = sink != nullptr ? sink : &own_telemetry_;
+  // An external sink may already hold earlier runs' records (accumulating
+  // sinks are legal); this run's summary starts where they end.
+  size_t record_base = telemetry_->records().size();
+
+  accept_queues_.resize(fleet_.size());
+  in_service_per_.assign(fleet_.size(), 0);
+  share_.assign(fleet_.size(), ServerShare{});
+  load_scratch_.assign(fleet_.size(), 0);
+
+  pipeline_depth_ =
+      config_.persistent_connections && workload_->pipeline_depth() > 1
+          ? workload_->pipeline_depth()
+          : 1;
+
+  int clients = workload_->initial_clients();
+  for (int i = 0; i < clients; ++i) {
+    AddConnection();
+    if (config_.persistent_connections) {
+      conns_[i]->Connect();  // One handshake for the whole run (setup time).
+    }
+  }
+  conn_state_.resize(conns_.size());
+  // Steady-state memory pinned by the client population.
+  UpdateSteadyMemory();
+  // A client's pipelined lanes share its connection.
+  for (int i = 0; i < clients; ++i) {
+    for (int d = 0; d < pipeline_depth_; ++d) {
+      AddLane(i);
+    }
+  }
+
+  if (workload_->closed_loop()) {
+    // Kick off all clients at t=0.
+    for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+      ctx_->events().ScheduleAt(0, [this, lane] { IssueRequest(lane); });
+    }
+  } else {
+    // All lanes idle; workload arrivals claim them (pool grows on demand).
+    for (size_t lane = lanes_.size(); lane-- > 0;) {
+      free_lanes_.push_back(lane);
+    }
+    ScheduleNextArrival();
+  }
+
+  while (!done_ && ctx_->events().RunOne()) {
+  }
+
+  ExperimentResult result;
+  result.requests = counted_requests_;
+  result.bytes = counted_bytes_;
+  result.seconds = iolsim::ToSeconds(ctx_->clock().now() - count_start_);
+  if (result.seconds > 0) {
+    result.megabits_per_sec =
+        static_cast<double>(counted_bytes_) * 8.0 / 1e6 / result.seconds;
+  }
+  uint64_t lookups = ctx_->stats().cache_hits + ctx_->stats().cache_misses;
+  if (lookups > 0) {
+    result.cache_hit_rate =
+        static_cast<double>(ctx_->stats().cache_hits) / static_cast<double>(lookups);
+  }
+  result.peak_concurrent = peak_in_service_;
+  result.admission_waits = admission_waits_;
+  result.latency = telemetry_->EndToEndLatency(record_base);
+  result.cache_hit_fraction = telemetry_->CacheHitFraction(record_base);
+  result.per_server = share_;
+
+  // Drain in-flight continuations so no event in the queue outlives the
+  // engine; every callback early-returns behind done_. (The result was
+  // already captured above, so the extra clock movement is invisible.)
+  while (ctx_->events().RunOne()) {
+  }
+
+  for (std::unique_ptr<iolnet::TcpConnection>& c : conns_) {
+    if (c->connected()) {
+      c->Close();
+    }
+  }
+  ctx_->memory().Set("server_processes", 0);
+  ctx_->memory().Set("connections_steady", 0);
+  next_file_ = nullptr;
+  return result;
+}
+
+void Experiment::ScheduleNextArrival() {
+  if (done_) {
+    return;
+  }
+  iolsim::SimTime at = 0;
+  if (!workload_->NextArrival(ctx_->clock().now(), &at)) {
+    return;  // Arrival stream exhausted: the run drains and ends.
+  }
+  ctx_->events().ScheduleAt(at, [this] {
+    if (done_) {
+      return;
+    }
+    size_t lane;
+    if (!free_lanes_.empty()) {
+      lane = free_lanes_.back();
+      free_lanes_.pop_back();
+    } else {
+      // Overload: the arrival stream outpaces completions; grow the pool
+      // (and the steady-state memory the population pins with it).
+      AddConnection();
+      conn_state_.resize(conns_.size());
+      lane = AddLane(conns_.size() - 1);
+      UpdateSteadyMemory();
+    }
+    IssueRequest(lane);
+    ScheduleNextArrival();
+  });
+}
+
+void Experiment::IssueRequest(size_t lane) {
+  if (done_) {
+    return;
+  }
+  Lane& l = *lanes_[lane];
+  // Position in the connection's request stream (delivery is in-order).
+  l.seq = conn_state_[l.conn_index].next_issue++;
+  l.record = RequestRecord{};
+  l.record.issue = ctx_->clock().now();
+  l.has_pinned_file = workload_->NextFile(&l.pinned_file);
+  // Request propagation to the fleet.
+  ctx_->events().ScheduleAfter(config_.delay.one_way_delay,
+                               [this, lane] { ArriveAtFleet(lane); });
+}
+
+void Experiment::ArriveAtFleet(size_t lane) {
+  if (done_) {
+    return;
+  }
+  Lane& l = *lanes_[lane];
+  // The balancer sees each member's full backlog: in service plus waiting
+  // in its accept queue. (load_scratch_ is a member: one arrival per event,
+  // and reusing it keeps the per-arrival hot path allocation-free.)
+  for (size_t s = 0; s < fleet_.size(); ++s) {
+    load_scratch_[s] = in_service_per_[s] + static_cast<int>(accept_queues_[s].size());
+  }
+  l.server = fleet_.PickServer(load_scratch_);
+  if (config_.max_concurrent > 0 && in_service_per_[l.server] >= config_.max_concurrent) {
+    // At capacity: the connection waits in the accept queue (never dropped).
+    accept_queues_[l.server].push_back(lane);
+    ++admission_waits_;
+    return;
+  }
+  ServeRequest(lane);
+}
+
+void Experiment::ServeRequest(size_t lane) {
+  Lane& l = *lanes_[lane];
+  ++in_service_;
+  ++in_service_per_[l.server];
+  if (in_service_ > peak_in_service_) {
+    peak_in_service_ = in_service_;
+  }
+  if (in_service_per_[l.server] > share_[l.server].peak_concurrent) {
+    share_[l.server].peak_concurrent = in_service_per_[l.server];
+  }
+  l.record.admit = ctx_->clock().now();
+  l.req.file = l.has_pinned_file ? l.pinned_file : next_file_();
+  l.req.response_bytes = 0;
+  l.req.cache_hit = false;
+  iolhttp::HttpServer* server = fleet_.server(l.server);
+  if (!l.conn->connected()) {
+    // Handshake CPU (SYN/PCB work) is a pipeline stage like any other; the
+    // handshake round trip itself is charged with the response delays.
+    iolhttp::RunCpuStage(
+        ctx_, [&l] { l.conn->Connect(); },
+        [this, server, lane] { server->StartRequest(&lanes_[lane]->req); });
+  } else {
+    server->StartRequest(&l.req);
+  }
+}
+
+void Experiment::OnServerDone(size_t lane) {
+  if (done_) {
+    return;
+  }
+  Lane& l = *lanes_[lane];
+  size_t bytes = l.req.response_bytes;
+  if (!config_.persistent_connections) {
+    l.conn->Close();
+  }
+  if (config_.enforce_cache_budget) {
+    cache_->EnforceBudget(CacheBudget());
+  }
+  --in_service_;
+  --in_service_per_[l.server];
+  if (!accept_queues_[l.server].empty()) {
+    size_t waiting = accept_queues_[l.server].front();
+    accept_queues_[l.server].pop_front();
+    ServeRequest(waiting);
+  }
+
+  // Response propagation, plus one handshake round trip for nonpersistent
+  // connections. A pipelined connection delivers responses in request
+  // order: an out-of-order completion (e.g. a sibling's cache hit passing
+  // this lane's disk read) waits for the head of line.
+  iolsim::SimTime respond_delay = config_.delay.one_way_delay;
+  if (!config_.persistent_connections) {
+    respond_delay += config_.delay.RoundTrip();
+  }
+  ConnState& cs = conn_state_[l.conn_index];
+  cs.done_out_of_order[l.seq] = {lane, bytes};
+  while (!cs.done_out_of_order.empty() &&
+         cs.done_out_of_order.begin()->first == cs.next_deliver) {
+    auto [head_lane, head_bytes] = cs.done_out_of_order.begin()->second;
+    cs.done_out_of_order.erase(cs.done_out_of_order.begin());
+    ++cs.next_deliver;
+    ctx_->events().ScheduleAfter(respond_delay, [this, head_lane, head_bytes] {
+      OnClientReceive(head_lane, head_bytes);
+    });
+  }
+}
+
+void Experiment::OnClientReceive(size_t lane, size_t bytes) {
+  if (done_) {
+    return;
+  }
+  Lane& l = *lanes_[lane];
+  ++completed_;
+  l.record.complete = ctx_->clock().now();
+  l.record.bytes = bytes;
+  l.record.server = l.server;
+  l.record.cache_hit = l.req.cache_hit;
+  l.record.counted = completed_ > config_.warmup_requests;
+  telemetry_->Record(l.record);
+  if (!l.record.counted) {
+    if (completed_ == config_.warmup_requests) {
+      count_start_ = ctx_->clock().now();
+    }
+  } else {
+    ++counted_requests_;
+    counted_bytes_ += bytes;
+    share_[l.server].requests++;
+    share_[l.server].bytes += bytes;
+    if (counted_requests_ >= config_.max_requests) {
+      done_ = true;
+      return;
+    }
+  }
+  if (workload_->closed_loop()) {
+    IssueRequest(lane);
+  } else {
+    free_lanes_.push_back(lane);
+  }
+}
+
+}  // namespace ioldrv

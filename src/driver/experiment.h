@@ -1,0 +1,198 @@
+// Experiment: the engine composing the three orthogonal experiment axes —
+// Workload (arrival process) x Fleet (servers + balancer) x Telemetry
+// (per-request records) — over the staged request pipeline.
+//
+// The engine owns the client population: it issues requests per the
+// Workload, spreads them over the Fleet's members (queueing — never
+// dropping — when ExperimentConfig::max_concurrent caps a member's
+// concurrency), lets each member's staged pipeline acquire CPU/disk/link
+// as stages run, delivers responses in per-connection issue order
+// (HTTP/1.1 pipelining head-of-line blocking), and timestamps every
+// request for the Telemetry sink. One Run per Experiment instance: a
+// second Run would reuse stale lane/counter state and dies loudly instead.
+//
+// The old single-server, throughput-only entry point survives as
+// iolhttp::LoadDriver, a thin wrapper over this engine.
+
+#ifndef SRC_DRIVER_EXPERIMENT_H_
+#define SRC_DRIVER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/driver/fleet.h"
+#include "src/driver/telemetry.h"
+#include "src/driver/workload.h"
+#include "src/fs/file_cache.h"
+#include "src/httpd/http_server.h"
+#include "src/httpd/request_pipeline.h"
+#include "src/net/tcp.h"
+#include "src/simos/event_queue.h"
+#include "src/simos/sim_context.h"
+
+namespace ioldrv {
+
+// Knobs orthogonal to all three axes: how much to measure, the network
+// between clients and fleet, and per-member admission policy.
+struct ExperimentConfig {
+  // Stop after this many counted (post-warmup) request completions. A
+  // replayed log may end first; the run then counts what completed.
+  uint64_t max_requests = 20000;
+  // Completions ignored at the start (cold caches, cold mappings).
+  uint64_t warmup_requests = 0;
+  bool persistent_connections = false;
+  iolnet::DelayRouter delay;
+  // Cap on concurrently served connections per fleet member (Apache
+  // process model); 0 = off. Excess arrivals wait in that member's FIFO
+  // accept queue — they are never dropped.
+  int max_concurrent = 0;
+  // Enforce the file-cache byte budget from the memory model after each
+  // request (trace experiments). Off for single-file tests.
+  bool enforce_cache_budget = false;
+};
+
+// Per-member slice of the run (who served what, how concurrently).
+struct ServerShare {
+  uint64_t requests = 0;  // Counted completions served by this member.
+  uint64_t bytes = 0;
+  int peak_concurrent = 0;
+};
+
+// The structured result: throughput counters plus the latency distribution,
+// overall and per fleet member.
+struct ExperimentResult {
+  uint64_t requests = 0;
+  uint64_t bytes = 0;
+  double seconds = 0;
+  double megabits_per_sec = 0;
+  // Machine-wide cache hit rate over the WHOLE run, warmup included —
+  // deliberately the old DriverResult semantics (the trace figures' hit
+  // columns report the machine's cache behavior, cold start and all).
+  double cache_hit_rate = 0;
+  // Fraction of counted requests whose body came from the cache — the
+  // same measurement window as `latency`; use this when correlating hit
+  // behavior with percentiles.
+  double cache_hit_fraction = 0;
+  // High-water mark of concurrently served requests, fleet-wide.
+  int peak_concurrent = 0;
+  // Arrivals that had to wait in an accept queue (max_concurrent).
+  uint64_t admission_waits = 0;
+  // End-to-end latency (issue to last response byte) of counted requests.
+  LatencySummary latency;
+  std::vector<ServerShare> per_server;
+};
+
+class Experiment {
+ public:
+  // Returns the file to request next; shared across clients, called in
+  // service order. Ignored for arrivals whose Workload pins the file
+  // (trace replay).
+  using RequestSource = std::function<iolfs::FileId()>;
+
+  Experiment(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+             iolfs::FileCache* cache, Fleet fleet, ExperimentConfig config)
+      : ctx_(ctx), net_(net), cache_(cache), fleet_(std::move(fleet)),
+        config_(config) {}
+
+  // Single-server convenience.
+  Experiment(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+             iolfs::FileCache* cache, iolhttp::HttpServer* server,
+             ExperimentConfig config)
+      : Experiment(ctx, net, cache, Fleet::Single(server), config) {}
+
+  // Runs `workload` to completion. Per-request records go to `sink` when
+  // given, else to the internal Telemetry (see telemetry()). Fatal on a
+  // second call: the engine's lanes and counters are single-run state.
+  ExperimentResult Run(Workload* workload, RequestSource next_file,
+                       Telemetry* sink = nullptr);
+
+  // The sink the last Run recorded into.
+  const Telemetry& telemetry() const { return *telemetry_; }
+
+  Fleet& fleet() { return fleet_; }
+
+ private:
+  // One request slot: a connection (shared by a client's pipelined lanes)
+  // plus the in-flight request state. Heap-allocated so addresses stay
+  // stable when the open-loop pool grows.
+  struct Lane {
+    iolnet::TcpConnection* conn = nullptr;
+    size_t conn_index = 0;
+    uint64_t seq = 0;        // Issue order on this lane's connection.
+    size_t server = 0;       // Fleet member chosen at arrival.
+    bool has_pinned_file = false;
+    iolfs::FileId pinned_file = iolfs::kInvalidFile;
+    RequestRecord record;
+    iolhttp::RequestContext req;
+  };
+
+  // Per-connection pipelining state: responses are delivered to the client
+  // in request-issue order even when the staged pipeline completes them
+  // out of order.
+  struct ConnState {
+    uint64_t next_issue = 0;
+    uint64_t next_deliver = 0;
+    // Completed out-of-order responses waiting for their turn: seq ->
+    // (lane, bytes).
+    std::map<uint64_t, std::pair<size_t, size_t>> done_out_of_order;
+  };
+
+  size_t AddLane(size_t conn_index);
+  void AddConnection();
+  // Recomputes the steady-state memory the client population pins, for the
+  // current pool size (open-loop growth re-runs this).
+  void UpdateSteadyMemory();
+  // Client issues: the request propagates to the fleet (one-way delay).
+  void IssueRequest(size_t lane);
+  // Request reaches the fleet: the balancer picks a member; admitted now
+  // or queued behind that member's max_concurrent.
+  void ArriveAtFleet(size_t lane);
+  void ServeRequest(size_t lane);
+  void OnServerDone(size_t lane);
+  void OnClientReceive(size_t lane, size_t bytes);
+  void ScheduleNextArrival();
+  uint64_t CacheBudget() const;
+
+  iolsim::SimContext* ctx_;
+  iolnet::NetworkSubsystem* net_;
+  iolfs::FileCache* cache_;
+  Fleet fleet_;
+  ExperimentConfig config_;
+  Workload* workload_ = nullptr;
+  RequestSource next_file_;
+  Telemetry own_telemetry_;
+  // Points at own_telemetry_ until Run is handed an external sink, so
+  // telemetry() is always safe to call.
+  Telemetry* telemetry_ = &own_telemetry_;
+
+  std::vector<std::unique_ptr<iolnet::TcpConnection>> conns_;
+  std::vector<ConnState> conn_state_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<size_t> free_lanes_;  // Open loop: idle pool entries.
+
+  // Per fleet member.
+  std::vector<std::deque<size_t>> accept_queues_;
+  std::vector<int> in_service_per_;
+  std::vector<ServerShare> share_;
+  std::vector<int> load_scratch_;  // Balancer input, reused per arrival.
+
+  int pipeline_depth_ = 1;
+  int in_service_ = 0;
+  int peak_in_service_ = 0;
+  uint64_t admission_waits_ = 0;
+  uint64_t completed_ = 0;  // All completions, including warmup.
+  uint64_t counted_requests_ = 0;
+  uint64_t counted_bytes_ = 0;
+  iolsim::SimTime count_start_ = 0;
+  bool done_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace ioldrv
+
+#endif  // SRC_DRIVER_EXPERIMENT_H_

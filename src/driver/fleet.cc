@@ -1,0 +1,41 @@
+#include "src/driver/fleet.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ioldrv {
+
+size_t LeastConnectionsBalancer::Pick(const std::vector<int>& load) {
+  if (load.empty()) {
+    return 0;
+  }
+  size_t n = load.size();
+  size_t best = (last_ + 1) % n;
+  for (size_t i = 1; i < n; ++i) {
+    size_t candidate = (last_ + 1 + i) % n;
+    if (load[candidate] < load[best]) {
+      best = candidate;
+    }
+  }
+  last_ = best;
+  return best;
+}
+
+Fleet::Fleet(std::vector<iolhttp::HttpServer*> servers,
+             std::unique_ptr<LoadBalancer> balancer)
+    : servers_(std::move(servers)), balancer_(std::move(balancer)) {
+  assert(!servers_.empty());
+  // The engine builds every client connection against member 0's socket
+  // data path; a mixed fleet would silently measure some members over the
+  // wrong transport, so fail loudly instead.
+  for (iolhttp::HttpServer* s : servers_) {
+    (void)s;
+    assert(s->uses_iolite_sockets() == servers_[0]->uses_iolite_sockets() &&
+           "Fleet members must share one socket data path (homogeneous fleets)");
+  }
+  if (balancer_ == nullptr) {
+    balancer_ = std::make_unique<RoundRobinBalancer>();
+  }
+}
+
+}  // namespace ioldrv

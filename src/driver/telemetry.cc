@@ -1,0 +1,86 @@
+#include "src/driver/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ioldrv {
+
+namespace {
+
+// Nearest-rank percentile of a sorted sample: the smallest value such that
+// at least q of the sample is <= it. Exact (no interpolation), so tests can
+// assert precise values from known service times.
+double NearestRank(const std::vector<iolsim::SimTime>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  size_t n = sorted.size();
+  // rank = ceil(q * n), guarded against the product landing epsilon above
+  // an integer and ceiling one rank too far.
+  auto rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n) - 1e-9));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > n) {
+    rank = n;
+  }
+  return static_cast<double>(sorted[rank - 1]) / iolsim::kMillisecond;
+}
+
+LatencySummary Summarize(std::vector<iolsim::SimTime> samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  double total = 0;
+  for (iolsim::SimTime t : samples) {
+    total += static_cast<double>(t);
+  }
+  s.mean_ms = total / static_cast<double>(samples.size()) / iolsim::kMillisecond;
+  s.p50_ms = NearestRank(samples, 0.50);
+  s.p90_ms = NearestRank(samples, 0.90);
+  s.p99_ms = NearestRank(samples, 0.99);
+  s.max_ms = static_cast<double>(samples.back()) / iolsim::kMillisecond;
+  return s;
+}
+
+}  // namespace
+
+LatencySummary Telemetry::EndToEndLatency(size_t from) const {
+  std::vector<iolsim::SimTime> samples;
+  for (size_t i = from; i < records_.size(); ++i) {
+    const RequestRecord& r = records_[i];
+    if (r.counted) {
+      samples.push_back(r.complete - r.issue);
+    }
+  }
+  return Summarize(std::move(samples));
+}
+
+LatencySummary Telemetry::QueueWait(size_t from) const {
+  std::vector<iolsim::SimTime> samples;
+  for (size_t i = from; i < records_.size(); ++i) {
+    const RequestRecord& r = records_[i];
+    if (r.counted) {
+      samples.push_back(r.admit - r.issue);
+    }
+  }
+  return Summarize(std::move(samples));
+}
+
+double Telemetry::CacheHitFraction(size_t from) const {
+  uint64_t counted = 0;
+  uint64_t hits = 0;
+  for (size_t i = from; i < records_.size(); ++i) {
+    const RequestRecord& r = records_[i];
+    if (r.counted) {
+      ++counted;
+      hits += r.cache_hit ? 1 : 0;
+    }
+  }
+  return counted > 0 ? static_cast<double>(hits) / static_cast<double>(counted) : 0;
+}
+
+}  // namespace ioldrv

@@ -1,0 +1,86 @@
+// Telemetry: the per-request record sink of the experiment engine.
+//
+// The engine timestamps every request at three points — client issue,
+// server admission (past the accept queue) and client receipt of the last
+// response byte — and hands the finished record to a Telemetry sink. The
+// sink keeps the raw stream; percentile summaries are computed
+// deterministically (sort + nearest-rank) so the same run always reports
+// the same p50/p90/p99, with no histogram-bucket rounding.
+
+#ifndef SRC_DRIVER_TELEMETRY_H_
+#define SRC_DRIVER_TELEMETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/simos/clock.h"
+
+namespace ioldrv {
+
+// One completed request, as observed by the client population.
+struct RequestRecord {
+  iolsim::SimTime issue = 0;     // Client issued the request.
+  iolsim::SimTime admit = 0;     // Server admitted it (past the accept queue).
+  iolsim::SimTime complete = 0;  // Last response byte reached the client.
+  size_t bytes = 0;              // Response bytes (header + body).
+  size_t server = 0;             // Fleet member that served it.
+  bool cache_hit = false;        // Body served from the unified cache.
+  bool counted = false;          // Post-warmup (excluded from summaries otherwise).
+};
+
+// Deterministic latency percentiles over a set of records, in milliseconds.
+// All fields are zero for an empty set — never NaN — so empty or
+// warmup-only runs serialize cleanly.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+// Collects the record stream of one experiment run. Warmup records are kept
+// (flagged `counted = false`) so callers can inspect the full stream, but
+// every summary covers counted records only.
+class Telemetry {
+ public:
+  virtual ~Telemetry() = default;
+
+  // Called by the engine once per completed request, in completion order.
+  // Non-virtual on purpose: the record is stored first (summaries always
+  // see the full stream), then OnRecord notifies subclasses.
+  void Record(const RequestRecord& rec) {
+    records_.push_back(rec);
+    OnRecord(rec);
+  }
+
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+  // End-to-end latency (complete - issue) of counted requests, starting at
+  // record index `from` — an accumulating sink shared across runs can be
+  // summarized per run (the engine passes its run's first record index).
+  LatencySummary EndToEndLatency(size_t from = 0) const;
+
+  // Accept-queue + propagation wait (admit - issue) of counted requests.
+  LatencySummary QueueWait(size_t from = 0) const;
+
+  // Fraction of counted requests served from the cache, starting at record
+  // index `from` (same per-run slicing as the latency summaries).
+  double CacheHitFraction(size_t from = 0) const;
+
+  void Clear() { records_.clear(); }
+
+ protected:
+  // Override point for streaming sinks (live plots, disk spooling); fired
+  // after the record is stored.
+  virtual void OnRecord(const RequestRecord&) {}
+
+ private:
+  std::vector<RequestRecord> records_;
+};
+
+}  // namespace ioldrv
+
+#endif  // SRC_DRIVER_TELEMETRY_H_

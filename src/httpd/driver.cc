@@ -1,278 +1,53 @@
 #include "src/httpd/driver.h"
 
-#include <cassert>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "src/driver/workload.h"
 
 namespace iolhttp {
 
-uint64_t LoadDriver::CacheBudget() const {
-  // The file cache may use whatever physical memory is left after the
-  // kernel, server processes and socket send buffers. The IO-Lite window
-  // reservation is excluded from "used": the cache's own data lives there,
-  // so counting it would shrink the budget by the cache's own size.
-  uint64_t non_window =
-      ctx_->memory().used() - ctx_->memory().reservation("iolite_window");
-  uint64_t total = ctx_->memory().total();
-  return total > non_window ? total - non_window : 0;
-}
-
-size_t LoadDriver::AddLane(size_t conn_index) {
-  lanes_.push_back(std::make_unique<Lane>());
-  size_t lane = lanes_.size() - 1;
-  Lane& l = *lanes_[lane];
-  l.conn = conns_[conn_index].get();
-  l.conn_index = conn_index;
-  l.req.conn = l.conn;
-  l.req.on_done = [this, lane](RequestContext*) { OnServerDone(lane); };
-  return lane;
-}
-
-void LoadDriver::UpdateSteadyMemory() {
-  int pool = static_cast<int>(conns_.size());
-  int effective_concurrent = pool;
-  if (config_.max_concurrent > 0 && config_.max_concurrent < effective_concurrent) {
-    effective_concurrent = config_.max_concurrent;
-  }
-  if (config_.persistent_connections) {
-    // Connections stay open; their own reservations (made by Connect)
-    // cover the socket buffers. Server processes:
-    ctx_->memory().Set("server_processes",
-                       static_cast<uint64_t>(effective_concurrent) *
-                           server_->per_connection_memory());
-  } else {
-    uint64_t per_conn =
-        server_->uses_iolite_sockets()
-            ? 2048
-            : static_cast<uint64_t>(ctx_->cost().params().socket_send_buffer_bytes *
-                                    ctx_->cost().params().send_buffer_utilization);
-    ctx_->memory().Set("connections_steady",
-                       static_cast<uint64_t>(pool) * per_conn +
-                           static_cast<uint64_t>(effective_concurrent) *
-                               server_->per_connection_memory());
-  }
-}
-
 DriverResult LoadDriver::Run(RequestSource next_file) {
-  next_file_ = std::move(next_file);
-  if (config_.open_loop && !(config_.arrivals_per_sec > 0)) {
-    // A zero/NaN rate would divide to +inf interarrival math below; die
-    // loudly instead of spinning (release builds skip asserts).
-    std::fprintf(stderr,
-                 "LoadDriver: open_loop requires arrivals_per_sec > 0 (got %g)\n",
-                 config_.arrivals_per_sec);
+  if (ran_) {
+    std::fprintf(stderr, "LoadDriver: Run() called twice on the same instance\n");
     std::abort();
   }
+  ran_ = true;
 
-  int depth = config_.persistent_connections && config_.pipeline_depth > 1
-                  ? config_.pipeline_depth
-                  : 1;
-
-  for (int i = 0; i < config_.num_clients; ++i) {
-    conns_.push_back(
-        std::make_unique<iolnet::TcpConnection>(net_, server_->uses_iolite_sockets()));
-    if (config_.persistent_connections) {
-      conns_[i]->Connect();  // One handshake for the whole run (setup time).
-    }
-  }
-  conn_state_.resize(conns_.size());
-  // Steady-state memory pinned by the client population.
-  UpdateSteadyMemory();
-  // A client's pipelined lanes share its connection.
-  for (int i = 0; i < config_.num_clients; ++i) {
-    for (int d = 0; d < depth; ++d) {
-      AddLane(i);
-    }
-  }
-
+  std::unique_ptr<ioldrv::Workload> workload;
   if (config_.open_loop) {
-    // All lanes idle; Poisson arrivals claim them (pool grows on demand).
-    for (size_t lane = lanes_.size(); lane-- > 0;) {
-      free_lanes_.push_back(lane);
-    }
-    ScheduleNextArrival();
+    // OpenLoopPoisson validates the rate (fatal on <= 0). pipeline_depth
+    // carries over so the initial pool's lanes match the old driver's.
+    workload = std::make_unique<ioldrv::OpenLoopPoisson>(
+        config_.arrivals_per_sec, config_.arrival_seed, config_.num_clients,
+        config_.pipeline_depth);
   } else {
-    // Kick off all clients at t=0.
-    for (size_t lane = 0; lane < lanes_.size(); ++lane) {
-      ctx_->events().ScheduleAt(0, [this, lane] { IssueRequest(lane); });
-    }
+    workload =
+        std::make_unique<ioldrv::ClosedLoop>(config_.num_clients, config_.pipeline_depth);
   }
 
-  while (!done_ && ctx_->events().RunOne()) {
-  }
+  ioldrv::ExperimentConfig config;
+  config.max_requests = config_.max_requests;
+  config.warmup_requests = config_.warmup_requests;
+  config.persistent_connections = config_.persistent_connections;
+  config.delay = config_.delay;
+  config.max_concurrent = config_.max_concurrent;
+  config.enforce_cache_budget = config_.enforce_cache_budget;
+
+  ioldrv::Experiment experiment(ctx_, net_, cache_, server_, config);
+  ioldrv::ExperimentResult full = experiment.Run(workload.get(), std::move(next_file));
 
   DriverResult result;
-  result.requests = counted_requests_;
-  result.bytes = counted_bytes_;
-  result.seconds = iolsim::ToSeconds(ctx_->clock().now() - count_start_);
-  if (result.seconds > 0) {
-    result.megabits_per_sec = static_cast<double>(counted_bytes_) * 8.0 / 1e6 / result.seconds;
-  }
-  uint64_t lookups = ctx_->stats().cache_hits + ctx_->stats().cache_misses;
-  if (lookups > 0) {
-    result.cache_hit_rate =
-        static_cast<double>(ctx_->stats().cache_hits) / static_cast<double>(lookups);
-  }
-  result.peak_concurrent = peak_in_service_;
-  result.admission_waits = admission_waits_;
-
-  // Drain in-flight continuations so no event in the queue outlives the
-  // driver; every callback early-returns behind done_. (The result was
-  // already captured above, so the extra clock movement is invisible.)
-  while (ctx_->events().RunOne()) {
-  }
-
-  for (std::unique_ptr<iolnet::TcpConnection>& c : conns_) {
-    if (c->connected()) {
-      c->Close();
-    }
-  }
-  ctx_->memory().Set("server_processes", 0);
-  ctx_->memory().Set("connections_steady", 0);
-  next_file_ = nullptr;
+  result.requests = full.requests;
+  result.bytes = full.bytes;
+  result.seconds = full.seconds;
+  result.megabits_per_sec = full.megabits_per_sec;
+  result.cache_hit_rate = full.cache_hit_rate;
+  result.peak_concurrent = full.peak_concurrent;
+  result.admission_waits = full.admission_waits;
   return result;
-}
-
-void LoadDriver::ScheduleNextArrival() {
-  if (done_) {
-    return;
-  }
-  // Exponential interarrival: -ln(1-U)/lambda.
-  double u = arrival_rng_.NextDouble();
-  double dt_sec = -std::log(1.0 - u) / config_.arrivals_per_sec;
-  iolsim::SimTime dt = static_cast<iolsim::SimTime>(dt_sec * iolsim::kSecond);
-  if (dt < 1) {
-    dt = 1;
-  }
-  ctx_->events().ScheduleAfter(dt, [this] {
-    if (done_) {
-      return;
-    }
-    size_t lane;
-    if (!free_lanes_.empty()) {
-      lane = free_lanes_.back();
-      free_lanes_.pop_back();
-    } else {
-      // Overload: the arrival stream outpaces completions; grow the pool
-      // (and the steady-state memory the population pins with it).
-      conns_.push_back(
-          std::make_unique<iolnet::TcpConnection>(net_, server_->uses_iolite_sockets()));
-      conn_state_.resize(conns_.size());
-      lane = AddLane(conns_.size() - 1);
-      UpdateSteadyMemory();
-    }
-    IssueRequest(lane);
-    ScheduleNextArrival();
-  });
-}
-
-void LoadDriver::IssueRequest(size_t lane) {
-  if (done_) {
-    return;
-  }
-  Lane& l = *lanes_[lane];
-  // Position in the connection's request stream (delivery is in-order).
-  l.seq = conn_state_[l.conn_index].next_issue++;
-  // Request propagation to the server.
-  ctx_->events().ScheduleAfter(config_.delay.one_way_delay,
-                               [this, lane] { ArriveAtServer(lane); });
-}
-
-void LoadDriver::ArriveAtServer(size_t lane) {
-  if (done_) {
-    return;
-  }
-  if (config_.max_concurrent > 0 && in_service_ >= config_.max_concurrent) {
-    // At capacity: the connection waits in the accept queue (never dropped).
-    accept_queue_.push_back(lane);
-    ++admission_waits_;
-    return;
-  }
-  ServeRequest(lane);
-}
-
-void LoadDriver::ServeRequest(size_t lane) {
-  ++in_service_;
-  if (in_service_ > peak_in_service_) {
-    peak_in_service_ = in_service_;
-  }
-  Lane& l = *lanes_[lane];
-  l.req.file = next_file_();
-  l.req.response_bytes = 0;
-  if (!l.conn->connected()) {
-    // Handshake CPU (SYN/PCB work) is a pipeline stage like any other; the
-    // handshake round trip itself is charged with the response delays.
-    RunCpuStage(
-        ctx_, [&l] { l.conn->Connect(); },
-        [this, lane] { server_->StartRequest(&lanes_[lane]->req); });
-  } else {
-    server_->StartRequest(&l.req);
-  }
-}
-
-void LoadDriver::OnServerDone(size_t lane) {
-  if (done_) {
-    return;
-  }
-  Lane& l = *lanes_[lane];
-  size_t bytes = l.req.response_bytes;
-  if (!config_.persistent_connections) {
-    l.conn->Close();
-  }
-  if (config_.enforce_cache_budget) {
-    cache_->EnforceBudget(CacheBudget());
-  }
-  --in_service_;
-  if (!accept_queue_.empty()) {
-    size_t waiting = accept_queue_.front();
-    accept_queue_.pop_front();
-    ServeRequest(waiting);
-  }
-
-  // Response propagation, plus one handshake round trip for nonpersistent
-  // connections. A pipelined connection delivers responses in request
-  // order: an out-of-order completion (e.g. a sibling's cache hit passing
-  // this lane's disk read) waits for the head of line.
-  iolsim::SimTime respond_delay = config_.delay.one_way_delay;
-  if (!config_.persistent_connections) {
-    respond_delay += config_.delay.RoundTrip();
-  }
-  ConnState& cs = conn_state_[l.conn_index];
-  cs.done_out_of_order[l.seq] = {lane, bytes};
-  while (!cs.done_out_of_order.empty() &&
-         cs.done_out_of_order.begin()->first == cs.next_deliver) {
-    auto [head_lane, head_bytes] = cs.done_out_of_order.begin()->second;
-    cs.done_out_of_order.erase(cs.done_out_of_order.begin());
-    ++cs.next_deliver;
-    ctx_->events().ScheduleAfter(respond_delay, [this, head_lane, head_bytes] {
-      OnClientReceive(head_lane, head_bytes);
-    });
-  }
-}
-
-void LoadDriver::OnClientReceive(size_t lane, size_t bytes) {
-  if (done_) {
-    return;
-  }
-  ++completed_;
-  if (completed_ <= config_.warmup_requests) {
-    if (completed_ == config_.warmup_requests) {
-      count_start_ = ctx_->clock().now();
-    }
-  } else {
-    ++counted_requests_;
-    counted_bytes_ += bytes;
-    if (counted_requests_ >= config_.max_requests) {
-      done_ = true;
-      return;
-    }
-  }
-  if (config_.open_loop) {
-    free_lanes_.push_back(lane);
-  } else {
-    IssueRequest(lane);
-  }
 }
 
 }  // namespace iolhttp

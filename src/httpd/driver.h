@@ -1,34 +1,23 @@
-// Client populations driving a server model over the staged request
-// pipeline (Section 5.1's methodology, generalized).
+// Compatibility wrapper over the composable experiment engine.
 //
-// The driver is a thin layer over the same event engine the servers run
-// on: it issues requests, admits them to the server (queueing — never
-// dropping — when DriverConfig::max_concurrent caps concurrency), lets the
-// staged pipeline acquire CPU/disk/link as each stage runs, and schedules
-// client-side completions (plus optional WAN delay-router latency,
-// Section 5.7). Two arrival models:
-//
-//  * Closed loop (default): each client issues a new request as soon as the
-//    response to its previous one arrives; persistent connections may keep
-//    `pipeline_depth` requests in flight (HTTP/1.1 pipelining).
-//  * Open loop: requests arrive in a Poisson stream at `arrivals_per_sec`,
-//    independent of completions, over a growing connection pool.
+// The experiment API proper lives in src/driver/: Workload (arrival
+// process) x Fleet (servers + balancer) x Telemetry (per-request records),
+// composed by ioldrv::Experiment. LoadDriver survives as a thin adapter
+// for the original flat-config, single-server, throughput-only entry
+// point: DriverConfig is translated into a Workload + ExperimentConfig,
+// DriverResult is the throughput slice of ExperimentResult. New code and
+// new scenarios (fleets, trace replay, latency percentiles) should use the
+// engine directly.
 
 #ifndef SRC_HTTPD_DRIVER_H_
 #define SRC_HTTPD_DRIVER_H_
 
-#include <deque>
+#include <cstdint>
 #include <functional>
-#include <map>
-#include <memory>
-#include <utility>
-#include <vector>
 
+#include "src/driver/experiment.h"
 #include "src/httpd/http_server.h"
-#include "src/httpd/request_pipeline.h"
 #include "src/net/tcp.h"
-#include "src/simos/event_queue.h"
-#include "src/simos/rng.h"
 #include "src/simos/sim_context.h"
 
 namespace iolhttp {
@@ -76,81 +65,20 @@ class LoadDriver {
 
   LoadDriver(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
              iolfs::FileCache* cache, HttpServer* server, DriverConfig config)
-      : ctx_(ctx),
-        net_(net),
-        cache_(cache),
-        server_(server),
-        config_(config),
-        arrival_rng_(config.arrival_seed) {}
+      : ctx_(ctx), net_(net), cache_(cache), server_(server), config_(config) {}
 
+  // One run per instance (the underlying engine's lanes and counters are
+  // single-run state; a second call dies loudly).
   DriverResult Run(RequestSource next_file);
 
  private:
-  // One request slot: a connection (shared by a client's pipelined lanes)
-  // plus the in-flight request state. Heap-allocated so addresses stay
-  // stable when the open-loop pool grows.
-  struct Lane {
-    iolnet::TcpConnection* conn = nullptr;
-    size_t conn_index = 0;
-    uint64_t seq = 0;  // Issue order on this lane's connection.
-    RequestContext req;
-  };
-
-  // Per-connection pipelining state: responses are delivered to the client
-  // in request-issue order (HTTP/1.1 pipelining head-of-line blocking),
-  // even when the staged pipeline completes them out of order.
-  struct ConnState {
-    uint64_t next_issue = 0;
-    uint64_t next_deliver = 0;
-    // Completed out-of-order responses waiting for their turn: seq ->
-    // (lane, bytes).
-    std::map<uint64_t, std::pair<size_t, size_t>> done_out_of_order;
-  };
-
-  size_t AddLane(size_t conn_index);
-  // Recomputes the steady-state memory the client population pins, for the
-  // current pool size (open-loop growth re-runs this).
-  void UpdateSteadyMemory();
-  // Client issues: the request propagates to the server (one-way delay).
-  void IssueRequest(size_t lane);
-  // Request reaches the server: admitted now or queued behind
-  // max_concurrent.
-  void ArriveAtServer(size_t lane);
-  // Admitted: connection setup (if needed) as a CPU stage, then the
-  // server's staged pipeline.
-  void ServeRequest(size_t lane);
-  void OnServerDone(size_t lane);
-  void OnClientReceive(size_t lane, size_t bytes);
-  void ScheduleNextArrival();
-  uint64_t CacheBudget() const;
-
   iolsim::SimContext* ctx_;
   iolnet::NetworkSubsystem* net_;
   iolfs::FileCache* cache_;
   HttpServer* server_;
   DriverConfig config_;
-  iolsim::Rng arrival_rng_;
-  RequestSource next_file_;
-
-  std::vector<std::unique_ptr<iolnet::TcpConnection>> conns_;
-  std::vector<ConnState> conn_state_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
-  std::deque<size_t> accept_queue_;
-  std::vector<size_t> free_lanes_;  // Open loop: idle pool entries.
-
-  int in_service_ = 0;
-  int peak_in_service_ = 0;
-  uint64_t admission_waits_ = 0;
-  uint64_t completed_ = 0;  // All completions, including warmup.
-  uint64_t counted_requests_ = 0;
-  uint64_t counted_bytes_ = 0;
-  iolsim::SimTime count_start_ = 0;
-  bool done_ = false;
+  bool ran_ = false;
 };
-
-// Historical name from when the driver only spoke the closed-loop protocol;
-// kept so existing call sites read naturally for that mode.
-using ClosedLoopDriver = LoadDriver;
 
 }  // namespace iolhttp
 

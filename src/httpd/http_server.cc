@@ -40,6 +40,7 @@ void FlashServer::StartRequest(RequestContext* req) {
         io_->ReadExtentAsync(
             req->file, 0, size,
             [this, req, size](iolite::Aggregate body, bool miss) {
+              req->cache_hit = !miss;
               // Stage 3: mmap fault mapping (cold data only), header build,
               // writev — one gathered copy + checksum into socket buffers.
               CpuStage(
@@ -74,7 +75,8 @@ void SendfileServer::StartRequest(RequestContext* req) {
         uint64_t size = io_->fs().SizeOf(req->file);
         io_->ReadExtentAsync(
             req->file, 0, size,
-            [this, req, size](iolite::Aggregate body, bool /*miss*/) {
+            [this, req, size](iolite::Aggregate body, bool miss) {
+              req->cache_hit = !miss;
               CpuStage(
                   [this, req, size, body = std::move(body)] {
                     // The in-transit pages must be protected against
@@ -133,7 +135,8 @@ void FlashLiteServer::StartRequest(RequestContext* req) {
         uint64_t size = io_->fs().SizeOf(req->file);
         io_->ReadExtentAsync(
             req->file, 0, size,
-            [this, req, size](iolite::Aggregate body, bool /*miss*/) {
+            [this, req, size](iolite::Aggregate body, bool miss) {
+              req->cache_hit = !miss;
               CpuStage(
                   [this, req, size, body = std::move(body)] {
                     // The buffers' chunks are mapped into the server domain

@@ -39,6 +39,9 @@ struct RequestContext {
   iolfs::FileId file = iolfs::kInvalidFile;
   // Header + body bytes of the response, set once the response is queued.
   size_t response_bytes = 0;
+  // Whether the body came from the unified cache (set by the server's
+  // cache-lookup stage; stays false for generated content, e.g. CGI).
+  bool cache_hit = false;
   // Invoked exactly once, when the last response byte has left the wire.
   std::function<void(RequestContext*)> on_done;
 };

@@ -47,6 +47,10 @@ struct CostParams {
   // paper's testbed is a uniprocessor; the staged request pipeline can
   // sweep this to model SMP servers.
   int cpu_count = 1;
+  // Number of independent disk arms (service units of the disk resource).
+  // Fleet experiments scale this with cpu_count so an N-member fleet
+  // models one machine per member behind the shared front link.
+  int disk_count = 1;
 
   // Per-request server application overheads (event loop, HTTP parse,
   // response header generation). Apache pays more: process-per-connection

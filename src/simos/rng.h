@@ -9,6 +9,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "src/simos/clock.h"
+
 namespace iolsim {
 
 class Rng {
@@ -57,6 +59,17 @@ class Rng {
  private:
   uint64_t state_;
 };
+
+// One draw of a Poisson process's exponential interarrival time at `rate`
+// arrivals per second, floored at one tick so time strictly advances. The
+// single definition keeps every arrival sampler (open-loop workloads,
+// synthesized trace logs) on identical math.
+inline SimTime ExponentialInterarrival(Rng* rng, double rate_per_sec) {
+  // -ln(1-U)/lambda.
+  double dt_sec = -std::log(1.0 - rng->NextDouble()) / rate_per_sec;
+  auto dt = static_cast<SimTime>(dt_sec * kSecond);
+  return dt < 1 ? 1 : dt;
+}
 
 }  // namespace iolsim
 

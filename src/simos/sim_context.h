@@ -41,7 +41,7 @@ class SimContext {
         memory_(params.ram_bytes),
         events_(&clock_),
         cpu_(&clock_, params.cpu_count),
-        disk_(&clock_),
+        disk_(&clock_, params.disk_count),
         link_(&clock_),
         vm_(std::make_unique<VmSystem>(this)) {
     memory_.Set("kernel", params.kernel_reserved_bytes);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/fs/sim_file_system.h"
+#include "src/simos/clock.h"
 #include "src/simos/rng.h"
 
 namespace iolwl {
@@ -85,6 +86,37 @@ class Trace {
   std::vector<uint32_t> requests_;    // Sequence of rank indices.
   uint64_t total_bytes_ = 0;
 };
+
+// A timestamped access log: arrival instants paired with popularity ranks,
+// in nondecreasing time order. This is what open-loop trace replay consumes
+// (ioldrv::TraceReplay): arrival times come from the log instead of a
+// fitted arrival model, so latency-vs-load curves reproduce real traffic.
+struct TimestampedLog {
+  struct Entry {
+    iolsim::SimTime at = 0;  // Arrival instant (simulated nanoseconds).
+    uint32_t rank = 0;       // Popularity rank of the requested file.
+  };
+  std::vector<Entry> entries;
+
+  // Mean arrival rate over the log's span; 0 for logs shorter than two
+  // entries or with zero span.
+  double MeanArrivalsPerSec() const;
+
+  // Text form, one "<arrival-seconds> <rank>" pair per line — the common
+  // denominator of real access-log exports. ToText/Parse round-trip.
+  std::string ToText() const;
+  // Parses the text form; '#' comment lines and blank lines are skipped.
+  // Entries are sorted into time order. Malformed lines return an empty
+  // log (entries.empty()) rather than a partial one.
+  static TimestampedLog Parse(const std::string& text);
+};
+
+// Synthesizes arrival timestamps for `trace`'s request sequence: a Poisson
+// process at `arrivals_per_sec`, deterministic in `seed`. The result pairs
+// each of the trace's requests, in order, with an arrival instant — the
+// bridge from the synthesized logs of Figure 7 to timestamped replay.
+TimestampedLog SynthesizeArrivals(const Trace& trace, double arrivals_per_sec,
+                                  uint64_t seed);
 
 }  // namespace iolwl
 

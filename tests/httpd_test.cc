@@ -5,20 +5,22 @@
 
 #include <memory>
 
+#include "src/driver/experiment.h"
+#include "src/driver/workload.h"
 #include "src/httpd/cgi.h"
-#include "src/httpd/driver.h"
 #include "src/httpd/http_server.h"
 #include "src/system/system.h"
 #include "tests/test_util.h"
 
 namespace {
 
+using ioldrv::ClosedLoop;
+using ioldrv::Experiment;
+using ioldrv::ExperimentConfig;
+using ioldrv::ExperimentResult;
 using iolfs::FileId;
 using iolhttp::ApacheServer;
-using iolhttp::ClosedLoopDriver;
 using iolhttp::CopyCgiServer;
-using iolhttp::DriverConfig;
-using iolhttp::DriverResult;
 using iolhttp::FlashLiteServer;
 using iolhttp::FlashServer;
 using iolhttp::LiteCgiServer;
@@ -193,12 +195,12 @@ TEST(DriverTest, DeterministicAcrossRuns) {
     System sys;
     FileId f = sys.fs().CreateFile("doc", 50 * 1024);
     FlashServer flash(&sys.ctx(), &sys.net(), &sys.io());
-    DriverConfig config;
-    config.num_clients = 8;
+    ExperimentConfig config;
     config.max_requests = 500;
     config.warmup_requests = 10;
-    ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
-    DriverResult result = driver.Run([f] { return f; });
+    ClosedLoop workload(8);
+    Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
+    ExperimentResult result = experiment.Run(&workload, [f] { return f; });
     EXPECT_EQ(result.requests, 500u);
     if (run == 0) {
       first_mbps = result.megabits_per_sec;
@@ -212,13 +214,13 @@ TEST(DriverTest, ThroughputNeverExceedsWireCeiling) {
   System sys;
   FileId f = sys.fs().CreateFile("doc", 200 * 1024);
   FlashLiteServer lite(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime());
-  DriverConfig config;
-  config.num_clients = 40;
+  ExperimentConfig config;
   config.max_requests = 2000;
   config.warmup_requests = 50;
   config.persistent_connections = true;
-  ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
-  DriverResult result = driver.Run([f] { return f; });
+  ClosedLoop workload(40);
+  Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
+  ExperimentResult result = experiment.Run(&workload, [f] { return f; });
   const iolsim::CostParams& p = sys.ctx().cost().params();
   double ceiling = p.nic_bits_per_sec * p.nic_count * p.wire_efficiency / 1e6;
   EXPECT_LE(result.megabits_per_sec, ceiling * 1.01);
@@ -230,13 +232,13 @@ TEST(DriverTest, PersistentConnectionsBeatNonpersistentOnSmallFiles) {
     System sys;
     FileId f = sys.fs().CreateFile("doc", 5 * 1024);
     FlashLiteServer lite(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime());
-    DriverConfig config;
-    config.num_clients = 40;
+    ExperimentConfig config;
     config.max_requests = 3000;
     config.warmup_requests = 100;
     config.persistent_connections = persistent;
-    ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
-    return driver.Run([f] { return f; }).megabits_per_sec;
+    ClosedLoop workload(40);
+    Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
+    return experiment.Run(&workload, [f] { return f; }).megabits_per_sec;
   };
   EXPECT_GT(run(true), run(false) * 1.2);
 }
@@ -248,14 +250,14 @@ TEST(DriverTest, WanDelayIncreasesWithoutStarvingThroughput) {
     System sys;
     FileId f = sys.fs().CreateFile("doc", 20 * 1024);
     FlashLiteServer lite(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime());
-    DriverConfig config;
-    config.num_clients = clients;
+    ExperimentConfig config;
     config.max_requests = 2000;
     config.warmup_requests = 100;
     config.persistent_connections = true;
     config.delay.one_way_delay = delay / 2;
-    ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
-    return driver.Run([f] { return f; }).megabits_per_sec;
+    ClosedLoop workload(clients);
+    Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
+    return experiment.Run(&workload, [f] { return f; }).megabits_per_sec;
   };
   double lan = run(0, 64);
   double wan = run(100 * iolsim::kMillisecond, 640);
@@ -272,13 +274,14 @@ TEST(DriverTest, CacheBudgetEnforcementEvictsUnderPressure) {
     files.push_back(sys.fs().CreateFile("f" + std::to_string(i), 256 * 1024));
   }
   FlashServer flash(&sys.ctx(), &sys.net(), &sys.io());
-  DriverConfig config;
-  config.num_clients = 4;
+  ExperimentConfig config;
   config.max_requests = 400;
   config.enforce_cache_budget = true;
-  ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
+  ClosedLoop workload(4);
+  Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
   int i = 0;
-  DriverResult result = driver.Run([&] { return files[i++ % files.size()]; });
+  ExperimentResult result =
+      experiment.Run(&workload, [&] { return files[i++ % files.size()]; });
   EXPECT_GT(sys.ctx().stats().cache_evictions, 0u);
   EXPECT_LT(result.cache_hit_rate, 0.5);
 }

@@ -6,7 +6,8 @@
 #include <string>
 #include <vector>
 
-#include "src/httpd/driver.h"
+#include "src/driver/experiment.h"
+#include "src/driver/workload.h"
 #include "src/httpd/http_server.h"
 #include "src/iolite/pipe.h"
 #include "src/system/system.h"
@@ -118,16 +119,16 @@ TEST(EndToEndTest, TraceReplayConservesRequestsAndBytes) {
   std::vector<FileId> ids = trace.Materialize(&sys.fs());
 
   iolhttp::FlashLiteServer lite(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime());
-  iolhttp::DriverConfig config;
-  config.num_clients = 1;
+  ioldrv::ExperimentConfig config;
   config.max_requests = 1000;
   config.enforce_cache_budget = true;
-  iolhttp::ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
+  ioldrv::ClosedLoop workload(1);
+  ioldrv::Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
 
   size_t cursor = 0;
   uint64_t expected_bytes = 0;
   std::vector<uint32_t> issued;
-  iolhttp::DriverResult result = driver.Run([&] {
+  ioldrv::ExperimentResult result = experiment.Run(&workload, [&] {
     uint32_t rank = trace.requests()[cursor % trace.requests().size()];
     issued.push_back(rank);
     ++cursor;
@@ -156,15 +157,15 @@ TEST(EndToEndTest, ConcurrentTraceReplayConservesTotals) {
   std::vector<FileId> ids = trace.Materialize(&sys.fs());
 
   iolhttp::FlashLiteServer lite(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime());
-  iolhttp::DriverConfig config;
-  config.num_clients = 8;
+  ioldrv::ExperimentConfig config;
   config.max_requests = 1000;
   config.enforce_cache_budget = true;
-  iolhttp::ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
+  ioldrv::ClosedLoop workload(8);
+  ioldrv::Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
 
   size_t cursor = 0;
   uint64_t issued_bytes = 0;
-  iolhttp::DriverResult result = driver.Run([&] {
+  ioldrv::ExperimentResult result = experiment.Run(&workload, [&] {
     uint32_t rank = trace.requests()[cursor % trace.requests().size()];
     issued_bytes += trace.file_sizes()[rank] + iolhttp::kResponseHeaderBytes;
     ++cursor;
@@ -199,13 +200,15 @@ TEST(EndToEndTest, ServersAgreeOnDeliveredByteCount) {
         server = std::make_unique<iolhttp::FlashLiteServer>(&sys.ctx(), &sys.net(), &sys.io(),
                                                             &sys.runtime());
     }
-    iolhttp::DriverConfig config;
-    config.num_clients = 4;
+    ioldrv::ExperimentConfig config;
     config.max_requests = 500;
-    iolhttp::ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), server.get(), config);
+    ioldrv::ClosedLoop workload(4);
+    ioldrv::Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), server.get(),
+                                  config);
     size_t cursor = 0;
-    return driver
-        .Run([&] { return ids[trace.requests()[cursor++ % trace.requests().size()]]; })
+    return experiment
+        .Run(&workload,
+             [&] { return ids[trace.requests()[cursor++ % trace.requests().size()]]; })
         .bytes;
   };
 

@@ -9,18 +9,21 @@
 #include <string>
 #include <vector>
 
-#include "src/httpd/driver.h"
+#include "src/driver/experiment.h"
+#include "src/driver/workload.h"
 #include "src/httpd/http_server.h"
 #include "src/simos/event_queue.h"
 #include "src/system/system.h"
 
 namespace {
 
+using ioldrv::ClosedLoop;
+using ioldrv::Experiment;
+using ioldrv::ExperimentConfig;
+using ioldrv::ExperimentResult;
+using ioldrv::OpenLoopPoisson;
 using iolfs::FileId;
 using iolhttp::ApacheServer;
-using iolhttp::ClosedLoopDriver;
-using iolhttp::DriverConfig;
-using iolhttp::DriverResult;
 using iolhttp::FlashLiteServer;
 using iolhttp::FlashServer;
 using iolsim::EventQueue;
@@ -109,13 +112,13 @@ double RunApache(int cpu_count) {
   System sys(options);
   FileId f = sys.fs().CreateFile("doc", 5 * 1024);
   ApacheServer apache(&sys.ctx(), &sys.net(), &sys.io());
-  DriverConfig config;
-  config.num_clients = 16;
+  ExperimentConfig config;
   config.persistent_connections = true;
   config.max_requests = 1500;
   config.warmup_requests = 50;
-  ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &apache, config);
-  return driver.Run([f] { return f; }).megabits_per_sec;
+  ClosedLoop workload(16);
+  Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &apache, config);
+  return experiment.Run(&workload, [f] { return f; }).megabits_per_sec;
 }
 
 }  // namespace multi_cpu
@@ -137,13 +140,13 @@ TEST(MultiCpuTest, WireBoundServerGainsLittle) {
     System sys(options);
     FileId f = sys.fs().CreateFile("doc", 200 * 1024);
     FlashLiteServer lite(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime());
-    DriverConfig config;
-    config.num_clients = 40;
+    ExperimentConfig config;
     config.persistent_connections = true;
     config.max_requests = 1000;
     config.warmup_requests = 50;
-    ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
-    return driver.Run([f] { return f; }).megabits_per_sec;
+    ClosedLoop workload(40);
+    Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
+    return experiment.Run(&workload, [f] { return f; }).megabits_per_sec;
   };
   // Flash-Lite saturates the wire with one CPU on large files; more CPUs
   // cannot push past the link.
@@ -156,12 +159,12 @@ TEST(AdmissionTest, MaxConcurrentQueuesInsteadOfDropping) {
   System sys;
   FileId f = sys.fs().CreateFile("doc", 20 * 1024);
   FlashServer flash(&sys.ctx(), &sys.net(), &sys.io());
-  DriverConfig config;
-  config.num_clients = 12;
+  ExperimentConfig config;
   config.max_concurrent = 3;
   config.max_requests = 300;
-  ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
-  DriverResult result = driver.Run([f] { return f; });
+  ClosedLoop workload(12);
+  Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
+  ExperimentResult result = experiment.Run(&workload, [f] { return f; });
   // Every request is eventually served...
   EXPECT_EQ(result.requests, 300u);
   // ...but never more than max_concurrent at once, and the excess waited.
@@ -173,11 +176,11 @@ TEST(AdmissionTest, UncappedRunReachesFullConcurrency) {
   System sys;
   FileId f = sys.fs().CreateFile("doc", 20 * 1024);
   FlashServer flash(&sys.ctx(), &sys.net(), &sys.io());
-  DriverConfig config;
-  config.num_clients = 12;
+  ExperimentConfig config;
   config.max_requests = 300;
-  ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
-  DriverResult result = driver.Run([f] { return f; });
+  ClosedLoop workload(12);
+  Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
+  ExperimentResult result = experiment.Run(&workload, [f] { return f; });
   EXPECT_EQ(result.requests, 300u);
   EXPECT_EQ(result.peak_concurrent, 12);
   EXPECT_EQ(result.admission_waits, 0u);
@@ -196,12 +199,13 @@ TEST(OverlapTest, ColdCacheRunOverlapsDiskCpuAndWire) {
     files.push_back(sys.fs().CreateFile("f" + std::to_string(i), 64 * 1024));
   }
   FlashServer flash(&sys.ctx(), &sys.net(), &sys.io());
-  DriverConfig config;
-  config.num_clients = 8;
+  ExperimentConfig config;
   config.max_requests = 64;
-  ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
+  ClosedLoop workload(8);
+  Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
   int i = 0;
-  DriverResult result = driver.Run([&] { return files[i++ % files.size()]; });
+  ExperimentResult result =
+      experiment.Run(&workload, [&] { return files[i++ % files.size()]; });
   EXPECT_EQ(result.requests, 64u);
 
   SimTime cpu_busy = sys.ctx().cpu().busy_time();
@@ -223,12 +227,12 @@ TEST(OverlapTest, SingleClientCannotOverlapItself) {
     files.push_back(sys.fs().CreateFile("f" + std::to_string(i), 64 * 1024));
   }
   FlashServer flash(&sys.ctx(), &sys.net(), &sys.io());
-  DriverConfig config;
-  config.num_clients = 1;
+  ExperimentConfig config;
   config.max_requests = 16;
-  ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
+  ClosedLoop workload(1);
+  Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
   int i = 0;
-  driver.Run([&] { return files[i++ % files.size()]; });
+  experiment.Run(&workload, [&] { return files[i++ % files.size()]; });
   SimTime busy = sys.ctx().cpu().busy_time() + sys.ctx().disk().busy_time() +
                  sys.ctx().link().busy_time();
   EXPECT_GE(sys.ctx().clock().now(), busy);
@@ -241,17 +245,16 @@ TEST(OpenLoopTest, PoissonArrivalsCompleteAndAreDeterministic) {
     System sys;
     FileId f = sys.fs().CreateFile("doc", 10 * 1024);
     FlashServer flash(&sys.ctx(), &sys.net(), &sys.io());
-    DriverConfig config;
-    config.num_clients = 8;
-    config.open_loop = true;
-    config.arrivals_per_sec = 500;
+    ExperimentConfig config;
     config.max_requests = 400;
     config.warmup_requests = 20;
-    ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
-    return driver.Run([f] { return f; });
+    OpenLoopPoisson workload(/*arrivals_per_sec=*/500, /*seed=*/0x9e3779b9,
+                             /*initial_pool=*/8);
+    Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
+    return experiment.Run(&workload, [f] { return f; });
   };
-  DriverResult a = run();
-  DriverResult b = run();
+  ExperimentResult a = run();
+  ExperimentResult b = run();
   EXPECT_EQ(a.requests, 400u);
   EXPECT_DOUBLE_EQ(a.megabits_per_sec, b.megabits_per_sec);
   // An underloaded open-loop stream delivers roughly the offered load:
@@ -264,13 +267,13 @@ TEST(OpenLoopTest, OverloadGrowsThePoolInsteadOfDeadlocking) {
   System sys;
   FileId f = sys.fs().CreateFile("doc", 50 * 1024);
   ApacheServer apache(&sys.ctx(), &sys.net(), &sys.io());
-  DriverConfig config;
-  config.num_clients = 2;  // Tiny pool; arrivals far outpace service.
-  config.open_loop = true;
-  config.arrivals_per_sec = 5000;
+  ExperimentConfig config;
   config.max_requests = 200;
-  ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &apache, config);
-  DriverResult result = driver.Run([f] { return f; });
+  // Tiny pool; arrivals far outpace service.
+  OpenLoopPoisson workload(/*arrivals_per_sec=*/5000, /*seed=*/0x9e3779b9,
+                           /*initial_pool=*/2);
+  Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &apache, config);
+  ExperimentResult result = experiment.Run(&workload, [f] { return f; });
   EXPECT_EQ(result.requests, 200u);
   EXPECT_GT(result.peak_concurrent, 2);
 }
@@ -282,15 +285,14 @@ TEST(PipelineDepthTest, PipeliningHidesRoundTripLatency) {
     System sys;
     FileId f = sys.fs().CreateFile("doc", 2 * 1024);
     FlashLiteServer lite(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime());
-    DriverConfig config;
-    config.num_clients = 2;
+    ExperimentConfig config;
     config.persistent_connections = true;
-    config.pipeline_depth = depth;
     config.max_requests = 1000;
     config.warmup_requests = 100;
     config.delay.one_way_delay = 2 * iolsim::kMillisecond;
-    ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
-    return driver.Run([f] { return f; }).megabits_per_sec;
+    ClosedLoop workload(2, depth);
+    Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
+    return experiment.Run(&workload, [f] { return f; }).megabits_per_sec;
   };
   // A lone request per connection spends its cycle waiting out the 4 ms
   // round trip; four pipelined requests fill the pipe and should approach
@@ -303,14 +305,13 @@ TEST(PipelineDepthTest, PipeliningCannotBeatResourceSaturation) {
     System sys;
     FileId f = sys.fs().CreateFile("doc", 2 * 1024);
     FlashLiteServer lite(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime());
-    DriverConfig config;
-    config.num_clients = 2;
+    ExperimentConfig config;
     config.persistent_connections = true;
-    config.pipeline_depth = depth;
     config.max_requests = 1000;
     config.warmup_requests = 100;
-    ClosedLoopDriver driver(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
-    return driver.Run([f] { return f; }).megabits_per_sec;
+    ClosedLoop workload(2, depth);
+    Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &lite, config);
+    return experiment.Run(&workload, [f] { return f; }).megabits_per_sec;
   };
   // On a LAN two closed-loop clients already saturate the CPU on 2 KB
   // files; deeper pipelines add concurrency but no capacity.
