@@ -58,10 +58,14 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
 //   {"figure": "...", "smoke": false, "rows": [{"series": ..., "x": ...,
 //    "value": ...}, ...]}
 // Rows added via AddExperiment carry the full structured result — latency
-// percentiles alongside the throughput value:
+// percentiles alongside the throughput value, plus the host-side wall clock
+// of the run:
 //   {"series": ..., "x": ..., "value": <Mb/s>, "requests": ...,
 //    "cache_hit_rate": ..., "p50_ms": ..., "p90_ms": ..., "p99_ms": ...,
-//    "max_ms": ...}
+//    "max_ms": ..., "wall_ms": ..., "events_per_sec": ...}
+// wall_ms / events_per_sec describe the simulator, not the simulated
+// machine: they are the wall-clock trajectory CI records per commit, and
+// vary run to run — everything else in the document is deterministic.
 // A reporter with an empty path is a no-op, so benchmarks can call Add
 // unconditionally.
 class JsonReporter {
@@ -73,17 +77,29 @@ class JsonReporter {
 
   void Add(const std::string& series, double x, double value) {
     if (!path_.empty()) {
-      rows_.push_back(Row{series, x, value, false, {}, 0, 0});
+      rows_.push_back(Row{series, x, value, false, false, {}, 0, 0, 0, 0});
+    }
+  }
+
+  // A host-performance row without experiment telemetry (micro benches).
+  void AddPerf(const std::string& series, double x, double value, double wall_ms,
+               double events_per_sec) {
+    if (!path_.empty()) {
+      rows_.push_back(Row{series, x, value, false, true, {}, 0, 0, wall_ms, events_per_sec});
     }
   }
 
   // Serializes the structured result: `value` is throughput (Mb/s), the
-  // latency summary rides along as explicit fields.
+  // latency summary and wall-clock performance ride along as explicit
+  // fields.
   void AddExperiment(const std::string& series, double x,
                      const ioldrv::ExperimentResult& result) {
     if (!path_.empty()) {
-      rows_.push_back(Row{series, x, result.megabits_per_sec, true, result.latency,
-                          result.requests, result.cache_hit_rate});
+      double events_per_sec =
+          result.wall_ms > 0 ? result.events_dispatched / (result.wall_ms / 1000.0) : 0;
+      rows_.push_back(Row{series, x, result.megabits_per_sec, true, true, result.latency,
+                          result.requests, result.cache_hit_rate, result.wall_ms,
+                          events_per_sec});
     }
   }
 
@@ -114,6 +130,10 @@ class JsonReporter {
                      r.latency.p50_ms, r.latency.p90_ms, r.latency.p99_ms,
                      r.latency.max_ms);
       }
+      if (r.has_perf) {
+        std::fprintf(f, ", \"wall_ms\": %.6g, \"events_per_sec\": %.6g", r.wall_ms,
+                     r.events_per_sec);
+      }
       std::fprintf(f, "}");
     }
     std::fprintf(f, "\n]}\n");
@@ -127,9 +147,12 @@ class JsonReporter {
     double x;
     double value;
     bool has_latency;
+    bool has_perf;
     ioldrv::LatencySummary latency;
     uint64_t requests;
     double cache_hit_rate;
+    double wall_ms;
+    double events_per_sec;
   };
   std::string figure_;
   std::string path_;

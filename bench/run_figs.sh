@@ -48,6 +48,14 @@ if [ "$found" = 0 ]; then
   exit 1
 fi
 
+# Engine wall-clock trajectory (host-time, not simulated; see
+# bench/micro_engine.cc). Recorded alongside the figures so every run of
+# this script leaves a BENCH_engine.json to compare across commits.
+if [ -x "$build_dir/bench_micro_engine" ]; then
+  echo "== bench_micro_engine -> $out_dir/BENCH_engine.json"
+  "$build_dir/bench_micro_engine" $smoke --json "$out_dir/BENCH_engine.json"
+fi
+
 # Schema smoke check: the latency-aware benches must emit non-zero p99
 # fields (a zeroed histogram means telemetry silently broke).
 for f in "$out_dir/BENCH_fig_latency_load.json" "$out_dir/BENCH_sweep_fleet.json"; do

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Report-only wall-clock comparison of two BENCH_*.json files.
+
+Usage: scripts/bench_delta.py BASELINE.json CURRENT.json
+
+Prints, per series, the events_per_sec delta of CURRENT relative to
+BASELINE. Always exits 0: wall-clock numbers depend on the host, so this is
+a trend report for humans (and CI logs), not a gate. Simulated values
+(requests, latencies, counters) are protected separately by the determinism
+tests — this script deliberately ignores them.
+"""
+
+import json
+import sys
+
+
+def rows_by_series(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("rows", []):
+        if "events_per_sec" in row:
+            # Keyed by (series, x): perf rows are unique per point.
+            out[(row["series"], row.get("x", 0))] = row
+    return doc, out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 0
+    base_doc, base = rows_by_series(sys.argv[1])
+    cur_doc, cur = rows_by_series(sys.argv[2])
+    if base_doc.get("smoke") != cur_doc.get("smoke"):
+        print("bench_delta: smoke flags differ (%s vs %s) — deltas are meaningless"
+              % (base_doc.get("smoke"), cur_doc.get("smoke")))
+    print("%-24s %14s %14s %8s" % ("series", "base ev/s", "current ev/s", "delta"))
+    for key in sorted(base.keys() | cur.keys(), key=str):
+        b = base.get(key)
+        c = cur.get(key)
+        name = "%s@%g" % key
+        if b is None or c is None:
+            print("%-24s %14s %14s %8s" % (name,
+                                           "-" if b is None else "%.3g" % b["events_per_sec"],
+                                           "-" if c is None else "%.3g" % c["events_per_sec"],
+                                           "n/a"))
+            continue
+        bv, cv = b["events_per_sec"], c["events_per_sec"]
+        delta = (cv - bv) / bv * 100 if bv else float("nan")
+        print("%-24s %14.4g %14.4g %+7.1f%%" % (name, bv, cv, delta))
+    print("bench_delta: report-only (never fails the build)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

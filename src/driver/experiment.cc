@@ -1,5 +1,6 @@
 #include "src/driver/experiment.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,9 +18,9 @@ uint64_t Experiment::CacheBudget() const {
 }
 
 size_t Experiment::AddLane(size_t conn_index) {
-  lanes_.push_back(std::make_unique<Lane>());
+  lanes_.emplace_back();
   size_t lane = lanes_.size() - 1;
-  Lane& l = *lanes_[lane];
+  Lane& l = lanes_[lane];
   l.conn = conns_[conn_index].get();
   l.conn_index = conn_index;
   l.req.conn = l.conn;
@@ -81,6 +82,11 @@ ExperimentResult Experiment::Run(Workload* workload, RequestSource next_file,
   // An external sink may already hold earlier runs' records (accumulating
   // sinks are legal); this run's summary starts where they end.
   size_t record_base = telemetry_->records().size();
+  // Pre-size the record stream so steady-state completions never hit a
+  // vector growth mid-run.
+  telemetry_->Reserve(record_base + config_.max_requests + config_.warmup_requests);
+  std::chrono::steady_clock::time_point wall_start = std::chrono::steady_clock::now();
+  uint64_t events_base = ctx_->stats().events_dispatched;
 
   accept_queues_.resize(fleet_.size());
   in_service_per_.assign(fleet_.size(), 0);
@@ -126,6 +132,10 @@ ExperimentResult Experiment::Run(Workload* workload, RequestSource next_file,
   }
 
   ExperimentResult result;
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  result.events_dispatched = ctx_->stats().events_dispatched - events_base;
   result.requests = counted_requests_;
   result.bytes = counted_bytes_;
   result.seconds = iolsim::ToSeconds(ctx_->clock().now() - count_start_);
@@ -194,7 +204,7 @@ void Experiment::IssueRequest(size_t lane) {
   if (done_) {
     return;
   }
-  Lane& l = *lanes_[lane];
+  Lane& l = lanes_[lane];
   // Position in the connection's request stream (delivery is in-order).
   l.seq = conn_state_[l.conn_index].next_issue++;
   l.record = RequestRecord{};
@@ -209,14 +219,20 @@ void Experiment::ArriveAtFleet(size_t lane) {
   if (done_) {
     return;
   }
-  Lane& l = *lanes_[lane];
-  // The balancer sees each member's full backlog: in service plus waiting
-  // in its accept queue. (load_scratch_ is a member: one arrival per event,
-  // and reusing it keeps the per-arrival hot path allocation-free.)
-  for (size_t s = 0; s < fleet_.size(); ++s) {
-    load_scratch_[s] = in_service_per_[s] + static_cast<int>(accept_queues_[s].size());
+  Lane& l = lanes_[lane];
+  if (fleet_.size() == 1) {
+    // Degenerate fleet (every classic experiment): there is nothing to
+    // balance, skip the load snapshot and the balancer virtual call.
+    l.server = 0;
+  } else {
+    // The balancer sees each member's full backlog: in service plus waiting
+    // in its accept queue. (load_scratch_ is a member: one arrival per
+    // event, and reusing it keeps the per-arrival hot path allocation-free.)
+    for (size_t s = 0; s < fleet_.size(); ++s) {
+      load_scratch_[s] = in_service_per_[s] + static_cast<int>(accept_queues_[s].size());
+    }
+    l.server = fleet_.PickServer(load_scratch_);
   }
-  l.server = fleet_.PickServer(load_scratch_);
   if (config_.max_concurrent > 0 && in_service_per_[l.server] >= config_.max_concurrent) {
     // At capacity: the connection waits in the accept queue (never dropped).
     accept_queues_[l.server].push_back(lane);
@@ -227,7 +243,7 @@ void Experiment::ArriveAtFleet(size_t lane) {
 }
 
 void Experiment::ServeRequest(size_t lane) {
-  Lane& l = *lanes_[lane];
+  Lane& l = lanes_[lane];
   ++in_service_;
   ++in_service_per_[l.server];
   if (in_service_ > peak_in_service_) {
@@ -246,7 +262,7 @@ void Experiment::ServeRequest(size_t lane) {
     // handshake round trip itself is charged with the response delays.
     iolhttp::RunCpuStage(
         ctx_, [&l] { l.conn->Connect(); },
-        [this, server, lane] { server->StartRequest(&lanes_[lane]->req); });
+        [this, server, lane] { server->StartRequest(&lanes_[lane].req); });
   } else {
     server->StartRequest(&l.req);
   }
@@ -256,7 +272,7 @@ void Experiment::OnServerDone(size_t lane) {
   if (done_) {
     return;
   }
-  Lane& l = *lanes_[lane];
+  Lane& l = lanes_[lane];
   size_t bytes = l.req.response_bytes;
   if (!config_.persistent_connections) {
     l.conn->Close();
@@ -281,6 +297,14 @@ void Experiment::OnServerDone(size_t lane) {
     respond_delay += config_.delay.RoundTrip();
   }
   ConnState& cs = conn_state_[l.conn_index];
+  if (l.seq == cs.next_deliver && cs.done_out_of_order.empty()) {
+    // In-order completion with nothing parked (the steady-state warm path):
+    // deliver directly, skipping the map insert+erase round trip.
+    ++cs.next_deliver;
+    ctx_->events().ScheduleAfter(
+        respond_delay, [this, lane, bytes] { OnClientReceive(lane, bytes); });
+    return;
+  }
   cs.done_out_of_order[l.seq] = {lane, bytes};
   while (!cs.done_out_of_order.empty() &&
          cs.done_out_of_order.begin()->first == cs.next_deliver) {
@@ -297,7 +321,7 @@ void Experiment::OnClientReceive(size_t lane, size_t bytes) {
   if (done_) {
     return;
   }
-  Lane& l = *lanes_[lane];
+  Lane& l = lanes_[lane];
   ++completed_;
   l.record.complete = ctx_->clock().now();
   l.record.bytes = bytes;

@@ -85,6 +85,13 @@ struct ExperimentResult {
   // End-to-end latency (issue to last response byte) of counted requests.
   LatencySummary latency;
   std::vector<ServerShare> per_server;
+
+  // Host-side performance of the run (not simulated quantities): wall-clock
+  // time spent inside Run and events dispatched by the engine. JsonReporter
+  // emits these on every bench row so BENCH_*.json files carry a wall-clock
+  // trajectory; simulated results must never depend on them.
+  double wall_ms = 0;
+  uint64_t events_dispatched = 0;
 };
 
 class Experiment {
@@ -118,8 +125,9 @@ class Experiment {
 
  private:
   // One request slot: a connection (shared by a client's pipelined lanes)
-  // plus the in-flight request state. Heap-allocated so addresses stay
-  // stable when the open-loop pool grows.
+  // plus the in-flight request state. Lives in a deque so addresses stay
+  // stable when the open-loop pool grows, with block-contiguous storage
+  // (the per-completion hot path walks lane state five times per request).
   struct Lane {
     iolnet::TcpConnection* conn = nullptr;
     size_t conn_index = 0;
@@ -172,7 +180,7 @@ class Experiment {
 
   std::vector<std::unique_ptr<iolnet::TcpConnection>> conns_;
   std::vector<ConnState> conn_state_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::deque<Lane> lanes_;
   std::vector<size_t> free_lanes_;  // Open loop: idle pool entries.
 
   // Per fleet member.

@@ -50,6 +50,9 @@ LatencySummary Summarize(std::vector<iolsim::SimTime> samples) {
 
 LatencySummary Telemetry::EndToEndLatency(size_t from) const {
   std::vector<iolsim::SimTime> samples;
+  if (from < records_.size()) {
+    samples.reserve(records_.size() - from);
+  }
   for (size_t i = from; i < records_.size(); ++i) {
     const RequestRecord& r = records_[i];
     if (r.counted) {
@@ -61,6 +64,9 @@ LatencySummary Telemetry::EndToEndLatency(size_t from) const {
 
 LatencySummary Telemetry::QueueWait(size_t from) const {
   std::vector<iolsim::SimTime> samples;
+  if (from < records_.size()) {
+    samples.reserve(records_.size() - from);
+  }
   for (size_t i = from; i < records_.size(); ++i) {
     const RequestRecord& r = records_[i];
     if (r.counted) {

@@ -58,6 +58,11 @@ class Telemetry {
 
   const std::vector<RequestRecord>& records() const { return records_; }
 
+  // Pre-sizes the record stream (the engine reserves its expected
+  // completion count up front so steady-state Records never grow the
+  // vector mid-run).
+  void Reserve(size_t n) { records_.reserve(n); }
+
   // End-to-end latency (complete - issue) of counted requests, starting at
   // record index `from` — an accumulating sink shared across runs can be
   // summarized per run (the engine passes its run's first record index).

@@ -28,10 +28,12 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
     return std::nullopt;
   }
   --it;
+  auto first_run = it;
 
+  // Pass 1: verify the adjacent runs cover the range with no gap. No state
+  // is accumulated — the warm hit path must not allocate.
   uint64_t want_end = offset + length;
   uint64_t covered_to = offset;
-  std::vector<EntryId> path;
   while (covered_to < want_end) {
     if (it == runs.end() || it->first > covered_to) {
       ctx_->stats().cache_misses++;
@@ -43,22 +45,21 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
       ctx_->stats().cache_misses++;
       return std::nullopt;  // Run ends before reaching our position.
     }
-    path.push_back(it->second);
     covered_to = run_end;
     ++it;
   }
 
-  // Assemble the requested window; the aggregate is a value whose slices
-  // reference the cached immutable buffers.
+  // Pass 2: assemble the requested window from the same runs; the aggregate
+  // is a value whose slices reference the cached immutable buffers.
   iolite::Aggregate out;
-  for (EntryId id : path) {
-    const Entry& entry = entries_.at(id);
+  for (it = first_run; out.size() < length; ++it) {
+    const Entry& entry = entries_.at(it->second);
     uint64_t run_begin = entry.offset;
     uint64_t run_end = entry.offset + entry.data.size();
     uint64_t from = offset > run_begin ? offset : run_begin;
     uint64_t to = want_end < run_end ? want_end : run_end;
-    out.Append(entry.data.Range(from - run_begin, to - from));
-    policy_->OnAccess(id);
+    out.AppendRange(entry.data, from - run_begin, to - from);
+    policy_->OnAccess(it->second);
   }
   assert(out.size() == length);
   ctx_->stats().cache_hits++;

@@ -53,13 +53,32 @@ void FileIoService::ReadExtentAsync(FileId file, uint64_t offset, size_t length,
     buffer = fs_->ReadFromDisk(file, offset, length);
   }
   assert(tally.cpu == 0 && "disk DMA fill must not charge CPU");
-  iolite::Aggregate agg = iolite::Aggregate::FromBuffer(std::move(buffer));
-  ctx_->disk().AcquireAsync(
-      &ctx_->events(), tally.disk,
-      [this, file, offset, agg = std::move(agg), done = std::move(done)]() mutable {
-        cache_->Insert(file, offset, agg);
-        done(std::move(agg), true);
-      });
+  uint32_t idx;
+  if (free_pending_ != UINT32_MAX) {
+    idx = free_pending_;
+    free_pending_ = pending_reads_[idx].next_free;
+  } else {
+    idx = static_cast<uint32_t>(pending_reads_.size());
+    pending_reads_.emplace_back();
+  }
+  PendingRead& pending = pending_reads_[idx];
+  pending.file = file;
+  pending.offset = offset;
+  pending.agg = iolite::Aggregate::FromBuffer(std::move(buffer));
+  pending.done = std::move(done);
+  ctx_->disk().AcquireAsync(&ctx_->events(), tally.disk, [this, idx] { FinishRead(idx); });
+}
+
+void FileIoService::FinishRead(uint32_t idx) {
+  PendingRead& pending = pending_reads_[idx];
+  iolite::Aggregate agg = std::move(pending.agg);
+  ReadCallback done = std::move(pending.done);
+  FileId file = pending.file;
+  uint64_t offset = pending.offset;
+  pending.next_free = free_pending_;
+  free_pending_ = idx;
+  cache_->Insert(file, offset, agg);
+  done(std::move(agg), true);
 }
 
 void FileIoService::WriteExtent(FileId file, uint64_t offset, const iolite::Aggregate& data) {

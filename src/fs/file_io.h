@@ -10,13 +10,15 @@
 #ifndef SRC_FS_FILE_IO_H_
 #define SRC_FS_FILE_IO_H_
 
-#include <functional>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/fs/file_cache.h"
 #include "src/fs/sim_file_system.h"
 #include "src/iolite/runtime.h"
 #include "src/iolite/stream.h"
+#include "src/simos/inline_function.h"
 
 namespace iolfs {
 
@@ -38,8 +40,9 @@ class FileIoService {
                                bool* was_miss = nullptr);
 
   // Completion callback of an asynchronous read: the aggregate plus
-  // whether disk I/O happened.
-  using ReadCallback = std::function<void(iolite::Aggregate, bool was_miss)>;
+  // whether disk I/O happened. Inline-stored: captures must fit
+  // kInlineCallbackBytes (the servers capture {this, req, size}).
+  using ReadCallback = iolsim::InlineFunction<void(iolite::Aggregate, bool /*was_miss*/)>;
 
   // Asynchronous read through the cache for the staged request pipeline.
   // On a hit `done` runs immediately (in-place cache access, no charge
@@ -48,15 +51,30 @@ class FileIoService {
   // completion event; the extent becomes visible in the cache only then,
   // so concurrent readers of a cold file each pay their own disk access
   // (no read coalescing — matching one-outstanding-I/O-per-request disks).
+  // Pending-read state (the filled aggregate and `done`) rides in a pooled
+  // node until the disk completion event.
   void ReadExtentAsync(FileId file, uint64_t offset, size_t length, ReadCallback done);
 
   // Replaces [offset, offset+data.size()) in both the cache and the file.
   void WriteExtent(FileId file, uint64_t offset, const iolite::Aggregate& data);
 
  private:
+  // One outstanding disk read awaiting its completion event.
+  struct PendingRead {
+    FileId file = kInvalidFile;
+    uint64_t offset = 0;
+    iolite::Aggregate agg;
+    ReadCallback done;
+    uint32_t next_free = UINT32_MAX;
+  };
+
+  void FinishRead(uint32_t idx);
+
   iolsim::SimContext* ctx_;
   SimFileSystem* fs_;
   FileCache* cache_;
+  std::vector<PendingRead> pending_reads_;
+  uint32_t free_pending_ = UINT32_MAX;
 };
 
 // Stream over an open file with a cursor, for the descriptor-based API.

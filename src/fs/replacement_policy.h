@@ -23,6 +23,9 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+
+#include "src/simos/pool_allocator.h"
 
 namespace iolfs {
 
@@ -61,9 +64,13 @@ class PaperLruPolicy : public ReplacementPolicy {
   EntryId ChooseVictim(const CacheView& view) override;
 
  private:
-  // Front = least recently used.
-  std::list<EntryId> lru_;
-  std::unordered_map<EntryId, std::list<EntryId>::iterator> index_;
+  // Front = least recently used. Pool-allocated nodes: insert/erase churn
+  // (cache misses, evictions) recycles instead of hitting the heap.
+  using LruList = std::list<EntryId, iolsim::PoolAllocator<EntryId>>;
+  LruList lru_;
+  std::unordered_map<EntryId, LruList::iterator, std::hash<EntryId>, std::equal_to<EntryId>,
+                     iolsim::PoolAllocator<std::pair<const EntryId, LruList::iterator>>>
+      index_;
 };
 
 // Classic LRU ignoring the reference state.
@@ -76,8 +83,11 @@ class PlainLruPolicy : public ReplacementPolicy {
   EntryId ChooseVictim(const CacheView& view) override;
 
  private:
-  std::list<EntryId> lru_;
-  std::unordered_map<EntryId, std::list<EntryId>::iterator> index_;
+  using LruList = std::list<EntryId, iolsim::PoolAllocator<EntryId>>;
+  LruList lru_;
+  std::unordered_map<EntryId, LruList::iterator, std::hash<EntryId>, std::equal_to<EntryId>,
+                     iolsim::PoolAllocator<std::pair<const EntryId, LruList::iterator>>>
+      index_;
 };
 
 // Greedy Dual Size with uniform miss cost (GDS(1)).
@@ -99,8 +109,14 @@ class GreedyDualSizePolicy : public ReplacementPolicy {
     size_t bytes;
   };
   double inflation_ = 0.0;  // The "L" value.
-  std::set<std::pair<double, EntryId>> queue_;
-  std::unordered_map<EntryId, Meta> meta_;
+  // Pool-allocated: every access re-keys the entry (erase + insert on
+  // queue_), which is warm-path churn for Flash-Lite's cache hits.
+  std::set<std::pair<double, EntryId>, std::less<std::pair<double, EntryId>>,
+           iolsim::PoolAllocator<std::pair<double, EntryId>>>
+      queue_;
+  std::unordered_map<EntryId, Meta, std::hash<EntryId>, std::equal_to<EntryId>,
+                     iolsim::PoolAllocator<std::pair<const EntryId, Meta>>>
+      meta_;
 };
 
 }  // namespace iolfs

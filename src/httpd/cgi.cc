@@ -74,6 +74,24 @@ CopyCgiServer::CopyCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* 
                              iolfs::FileIoService* io, size_t doc_bytes, bool apache_costs)
     : HttpServer(ctx, net, io), apache_costs_(apache_costs), cgi_(ctx, doc_bytes), pipe_(ctx) {}
 
+uint32_t CopyCgiServer::AcquireBody() {
+  uint32_t idx;
+  if (free_body_ != UINT32_MAX) {
+    idx = free_body_;
+    free_body_ = bodies_[idx].next_free;
+  } else {
+    idx = static_cast<uint32_t>(bodies_.size());
+    bodies_.emplace_back();
+    bodies_[idx].buf.resize(cgi_.doc_bytes());
+  }
+  return idx;
+}
+
+void CopyCgiServer::ReleaseBody(uint32_t idx) {
+  bodies_[idx].next_free = free_body_;
+  free_body_ = idx;
+}
+
 void CopyCgiServer::StartRequest(RequestContext* req) {
   // Stage 1: server-side accept + parse.
   CpuStage(
@@ -87,15 +105,10 @@ void CopyCgiServer::StartRequest(RequestContext* req) {
         // pipe (copy #1), blocking on the pipe buffer as it fills (one
         // producer/consumer context switch per pipe-buffer's worth), and
         // the server reads it out into a per-request buffer (copy #2).
-        // The buffer travels with the request: concurrent requests are
-        // each suspended between stages and must not share it.
-        std::shared_ptr<std::vector<char>> body;
-        if (!spare_bufs_.empty()) {
-          body = std::move(spare_bufs_.back());
-          spare_bufs_.pop_back();
-        } else {
-          body = std::make_shared<std::vector<char>>(cgi_.doc_bytes());
-        }
+        // The buffer travels with the request as a pooled node index:
+        // concurrent requests are each suspended between stages and must
+        // not share it.
+        uint32_t body = AcquireBody();
         CpuStage(
             [this, body] {
               const iolsim::CostParams& p = ctx_->cost().params();
@@ -103,20 +116,21 @@ void CopyCgiServer::StartRequest(RequestContext* req) {
               uint64_t chunks =
                   (cgi_.doc_bytes() + p.pipe_buffer_bytes - 1) / p.pipe_buffer_bytes;
               ctx_->ChargeCpu(p.context_switch_cost * static_cast<iolsim::SimTime>(chunks));
-              pipe_.Read(body->data(), body->size());
+              pipe_.Read(bodies_[body].buf.data(), bodies_[body].buf.size());
             },
             [this, req, body] {
               // Stage 3: header build + writev copies header + body into
               // the socket buffer (copy #3), checksummed in full.
               CpuStage(
                   [this, req, body] {
+                    std::vector<char>& buf = bodies_[body].buf;
                     char header[kResponseHeaderBytes];
-                    size_t header_len = BuildResponseHeader(header, body->size());
+                    size_t header_len = BuildResponseHeader(header, buf.size());
                     ctx_->ChargeCpu(ctx_->cost().SyscallCost());
                     ctx_->stats().syscalls++;
                     req->response_bytes = req->conn->SendPrivateCopy(
-                        header, header_len, body->data(), body->size());
-                    spare_bufs_.push_back(body);
+                        header, header_len, buf.data(), buf.size());
+                    ReleaseBody(body);
                   },
                   [this, req] { TransmitStage(req); });
             });
@@ -168,6 +182,24 @@ LiteCgiServer::LiteCgiServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* 
   }
 }
 
+uint32_t LiteCgiServer::AcquireBody() {
+  uint32_t idx;
+  if (free_body_ != UINT32_MAX) {
+    idx = free_body_;
+    free_body_ = bodies_[idx].next_free;
+  } else {
+    idx = static_cast<uint32_t>(bodies_.size());
+    bodies_.emplace_back();
+  }
+  return idx;
+}
+
+void LiteCgiServer::ReleaseBody(uint32_t idx) {
+  bodies_[idx].agg.Clear();  // Drop buffer references, keep the node.
+  bodies_[idx].next_free = free_body_;
+  free_body_ = idx;
+}
+
 void LiteCgiServer::StartRequest(RequestContext* req) {
   // Stage 1: server-side accept + parse.
   CpuStage(
@@ -180,36 +212,40 @@ void LiteCgiServer::StartRequest(RequestContext* req) {
         // cached document into the channel, the server IOL_reads the
         // aggregate out (one syscall; descriptor resolution on the ring,
         // cold-chunk mapping on the simulated pipe), zero payload copies.
-        auto body = std::make_shared<iolite::Aggregate>();
+        // The aggregate rides in a pooled node across the suspension.
+        uint32_t body = AcquireBody();
         CpuStage(
             [this, body] {
+              iolite::Aggregate& agg = bodies_[body].agg;
               if (transport_ == CgiTransport::kShmRing) {
                 cgi_.ProduceResponse(stream_.get());
                 ctx_->ChargeCpu(ctx_->cost().SyscallCost());
                 ctx_->stats().syscalls++;
-                *body = stream_->Read(server_domain_, SIZE_MAX);
+                agg = stream_->Read(server_domain_, SIZE_MAX);
               } else {
                 cgi_.ProduceResponse(channel_.get());
                 ctx_->ChargeCpu(ctx_->cost().SyscallCost());
                 ctx_->stats().syscalls++;
-                *body = channel_->Pop(SIZE_MAX);
+                agg = channel_->Pop(SIZE_MAX);
               }
-              runtime_->MapAggregate(*body, server_domain_);
+              runtime_->MapAggregate(agg, server_domain_);
             },
             [this, req, body] {
               // Stage 3: header from the server's IO-Lite pool, IOL_write
               // by reference; only the fresh header generation is summed.
               CpuStage(
                   [this, req, body] {
+                    iolite::Aggregate& agg = bodies_[body].agg;
                     iolite::Aggregate response = iolite::Aggregate::FromBuffer(
-                        MakeIoLiteHeader(ctx_, header_pool_, body->size()));
-                    response.Append(*body);
+                        MakeIoLiteHeader(ctx_, header_pool_, agg.size()));
+                    response.Append(agg);
                     if (capture_responses_) {
                       last_response_ = response;
                     }
                     ctx_->ChargeCpu(ctx_->cost().SyscallCost());
                     ctx_->stats().syscalls++;
                     req->response_bytes = req->conn->SendAggregate(response);
+                    ReleaseBody(body);
                   },
                   [this, req] { TransmitStage(req); });
             });

@@ -105,12 +105,23 @@ class CopyCgiServer : public HttpServer {
   void StartRequest(RequestContext* req) override;
 
  private:
+  // Pooled per-request pipe-read buffer: concurrent requests each hold one
+  // across their stage suspensions (the node index travels in the stage
+  // continuations); completed requests return theirs to the free list, so
+  // steady-state request turnover allocates nothing.
+  struct BodyNode {
+    std::vector<char> buf;
+    uint32_t next_free = UINT32_MAX;
+  };
+
+  uint32_t AcquireBody();
+  void ReleaseBody(uint32_t idx);
+
   bool apache_costs_;
   CopyCgiProcess cgi_;
   iolposix::PosixPipe pipe_;
-  // Recycled per-request read buffers: concurrent requests each hold one
-  // across their stage suspensions; completed requests return theirs here.
-  std::vector<std::shared_ptr<std::vector<char>>> spare_bufs_;
+  std::vector<BodyNode> bodies_;
+  uint32_t free_body_ = UINT32_MAX;
 };
 
 // Flash-Lite serving FastCGI content over an IO-Lite pipe or, with the
@@ -137,10 +148,22 @@ class LiteCgiServer : public HttpServer {
   const iolite::Aggregate& last_response() const { return last_response_; }
 
  private:
+  // Pooled per-request body aggregate (same pattern as CopyCgiServer's
+  // BodyNode): holds the reference-passed CGI document between stages.
+  struct BodyNode {
+    iolite::Aggregate agg;
+    uint32_t next_free = UINT32_MAX;
+  };
+
+  uint32_t AcquireBody();
+  void ReleaseBody(uint32_t idx);
+
   iolite::IoLiteRuntime* runtime_;
   CgiTransport transport_;
   iolsim::DomainId server_domain_;
   iolite::BufferPool* header_pool_;
+  std::vector<BodyNode> bodies_;
+  uint32_t free_body_ = UINT32_MAX;
   // Shared-memory transport state (kShmRing only). The region is declared
   // before cgi_ so it exists when the CGI process caches its document there.
   std::unique_ptr<iolipc::ShmRegion> region_;

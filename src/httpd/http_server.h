@@ -65,9 +65,12 @@ class HttpServer {
   size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file);
 
  protected:
-  // Stage scheduling helper; see RunCpuStage.
-  void CpuStage(std::function<void()> body, std::function<void()> next) {
-    RunCpuStage(ctx_, std::move(body), std::move(next));
+  // Stage scheduling helper; see RunCpuStage. The body is inlined and may
+  // capture freely; `next` lives in the event heap and must fit an
+  // InlineCallback.
+  template <typename Body>
+  void CpuStage(Body&& body, iolsim::InlineCallback next) {
+    RunCpuStage(ctx_, std::forward<Body>(body), std::move(next));
   }
 
   // Terminal stage: per-segment transmission of the queued response.

@@ -16,13 +16,21 @@
 // micro-tally that captures its CPU/disk demand without advancing the
 // clock; the demand is then pushed through the FIFO resources and the next
 // stage resumes at the completion event.
+//
+// Allocation contract: the body runs synchronously and is a template
+// parameter — it may capture anything (aggregates included) at zero cost.
+// The continuation `next` is an InlineCallback: it is stored in the event
+// heap, so its capture must fit kInlineCallbackBytes — in practice a couple
+// of pointers. Oversized captures fail to compile.
 
 #ifndef SRC_HTTPD_REQUEST_PIPELINE_H_
 #define SRC_HTTPD_REQUEST_PIPELINE_H_
 
-#include <functional>
+#include <cassert>
+#include <utility>
 
 #include "src/fs/sim_file_system.h"
+#include "src/simos/inline_function.h"
 #include "src/simos/sim_context.h"
 
 namespace iolnet {
@@ -33,7 +41,9 @@ namespace iolhttp {
 
 // One in-flight request walking the staged pipeline. Owned by the caller
 // (driver, or the synchronous HandleRequest wrapper); must stay alive until
-// `on_done` has fired.
+// `on_done` has fired. Callers reuse the same context across requests
+// (driver lanes are pooled), so steady-state request turnover allocates
+// nothing.
 struct RequestContext {
   iolnet::TcpConnection* conn = nullptr;
   iolfs::FileId file = iolfs::kInvalidFile;
@@ -43,16 +53,36 @@ struct RequestContext {
   // cache-lookup stage; stays false for generated content, e.g. CGI).
   bool cache_hit = false;
   // Invoked exactly once, when the last response byte has left the wire.
-  std::function<void(RequestContext*)> on_done;
+  iolsim::InlineFunction<void(RequestContext*)> on_done;
 };
 
-// Runs `body` immediately under a micro-tally, then pushes the measured
-// demand through the machine's FIFO resources — disk first if the body did
-// disk work (e.g. metadata I/O), then the CPU — and resumes `next` at the
-// completion event. A body with zero demand still hands control back
-// through the event queue, preserving deterministic stage ordering.
-void RunCpuStage(iolsim::SimContext* ctx, std::function<void()> body,
-                 std::function<void()> next);
+// Pushes a measured stage demand through the machine's FIFO resources —
+// disk first if the stage did disk work (e.g. metadata I/O), then the CPU —
+// and resumes `next` at the completion event. A stage with zero demand
+// still hands control back through the event queue, preserving
+// deterministic stage ordering.
+inline void DispatchStageDemand(iolsim::SimContext* ctx, const iolsim::Tally& tally,
+                                iolsim::InlineCallback next) {
+  if (tally.disk > 0) {
+    ctx->chain().AcquireThenAsync(&ctx->disk(), tally.disk, &ctx->cpu(), tally.cpu,
+                                  std::move(next));
+  } else {
+    ctx->cpu().AcquireAsync(&ctx->events(), tally.cpu, std::move(next));
+  }
+}
+
+// Runs `body` immediately under a micro-tally, then dispatches the measured
+// demand (see DispatchStageDemand).
+template <typename Body>
+void RunCpuStage(iolsim::SimContext* ctx, Body&& body, iolsim::InlineCallback next) {
+  assert(!ctx->tally_active() && "stages do not nest");
+  iolsim::Tally tally;
+  {
+    iolsim::TallyScope scope(ctx, &tally);
+    body();
+  }
+  DispatchStageDemand(ctx, tally, std::move(next));
+}
 
 }  // namespace iolhttp
 

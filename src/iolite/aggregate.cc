@@ -1,5 +1,6 @@
 #include "src/iolite/aggregate.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -29,7 +30,7 @@ void Aggregate::PushBack(Slice slice) {
 
 void Aggregate::PushFront(Slice slice) {
   total_ += slice.length();
-  slices_.insert(slices_.begin(), std::move(slice));
+  slices_.insert_at(0, std::move(slice));
 }
 
 void Aggregate::Append(Slice slice) {
@@ -51,7 +52,12 @@ void Aggregate::Prepend(Slice slice) {
 }
 
 void Aggregate::Prepend(const Aggregate& other) {
-  slices_.insert(slices_.begin(), other.slices_.begin(), other.slices_.end());
+  // Append then rotate: linear in the combined slice count.
+  size_t old_count = slices_.size();
+  for (const Slice& s : other.slices_) {
+    slices_.push_back(s);
+  }
+  std::rotate(slices_.begin(), slices_.begin() + old_count, slices_.end());
   total_ += other.total_;
 }
 
@@ -69,7 +75,7 @@ void Aggregate::Truncate(size_t len) {
     slices_[i] = slices_[i].Prefix(len - kept);
     ++i;
   }
-  slices_.resize(i);
+  slices_.resize_down(i);
   total_ = len;
 }
 
@@ -87,7 +93,7 @@ void Aggregate::DropFront(size_t n) {
     dropped += slices_[i].length();
     ++i;
   }
-  slices_.erase(slices_.begin(), slices_.begin() + i);
+  slices_.erase_front(i);
   total_ -= dropped;
   size_t remainder = n - dropped;
   if (remainder > 0) {
@@ -104,30 +110,37 @@ Aggregate Aggregate::SplitOff(size_t at) {
 }
 
 Aggregate Aggregate::Range(size_t offset, size_t len) const {
-  assert(offset + len <= total_ && "range beyond aggregate");
   Aggregate out;
+  out.AppendRange(*this, offset, len);
+  return out;
+}
+
+void Aggregate::AppendRange(const Aggregate& other, size_t offset, size_t len) {
+  assert(&other != this && "self-append would iterate storage being grown");
+  assert(offset + len <= other.total_ && "range beyond aggregate");
   if (len == 0) {
-    return out;
+    return;
   }
   size_t pos = 0;
-  for (const Slice& s : slices_) {
+  size_t appended = 0;
+  for (const Slice& s : other.slices_) {
     size_t slice_end = pos + s.length();
     if (slice_end <= offset) {
       pos = slice_end;
       continue;
     }
     size_t start_in_slice = offset > pos ? offset - pos : 0;
-    size_t want = len - out.size();
+    size_t want = len - appended;
     size_t avail = s.length() - start_in_slice;
     size_t take = avail < want ? avail : want;
-    out.PushBack(s.Sub(start_in_slice, take));
+    PushBack(s.Sub(start_in_slice, take));
+    appended += take;
     pos = slice_end;
-    if (out.size() == len) {
+    if (appended == len) {
       break;
     }
   }
-  assert(out.size() == len);
-  return out;
+  assert(appended == len);
 }
 
 void Aggregate::Clear() {

@@ -13,11 +13,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "src/iolite/slice.h"
+#include "src/iolite/small_vec.h"
 
 namespace iolite {
+
+// Aggregates overwhelmingly name one or two slices (a cached body extent,
+// or header + body); four inline slots make typical request flows
+// allocation-free while long chains still spill to the heap.
+using SliceList = SmallVec<Slice, 4>;
 
 class Aggregate {
  public:
@@ -34,7 +39,7 @@ class Aggregate {
   size_t size() const { return total_; }
   bool empty() const { return total_ == 0; }
   size_t slice_count() const { return slices_.size(); }
-  const std::vector<Slice>& slices() const { return slices_; }
+  const SliceList& slices() const { return slices_; }
 
   // --- Mutation by pointer manipulation (no data copies) -----------------
 
@@ -55,6 +60,11 @@ class Aggregate {
 
   // A value copy restricted to [offset, offset + len).
   Aggregate Range(size_t offset, size_t len) const;
+
+  // Appends `other`'s [offset, offset + len) window to this aggregate —
+  // Range + Append without the temporary (the cache's warm hit path).
+  // `other` must not be this aggregate (use Range + Append for that).
+  void AppendRange(const Aggregate& other, size_t offset, size_t len);
 
   // Drops all slices (buffer references are released).
   void Clear();
@@ -109,7 +119,7 @@ class Aggregate {
   void PushBack(Slice slice);
   void PushFront(Slice slice);
 
-  std::vector<Slice> slices_;
+  SliceList slices_;
   size_t total_ = 0;
 };
 

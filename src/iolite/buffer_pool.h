@@ -19,11 +19,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/iolite/buffer.h"
+#include "src/simos/pool_allocator.h"
 #include "src/simos/sim_context.h"
 
 namespace iolite {
@@ -111,8 +112,13 @@ class BufferPool {
 
   std::vector<Extent> extents_;
   std::vector<std::unique_ptr<Buffer>> all_buffers_;
-  // Free buffers keyed by capacity (first-fit via lower_bound).
-  std::multimap<size_t, Buffer*> free_list_;
+  // Free buffers keyed by capacity (first-fit via lower_bound; equal keys
+  // stay in release order). Pool-allocated nodes: the steady-state
+  // release/reallocate cycle of e.g. header buffers recycles, never
+  // allocates.
+  std::multimap<size_t, Buffer*, std::less<size_t>,
+                iolsim::PoolAllocator<std::pair<const size_t, Buffer*>>>
+      free_list_;
   size_t free_count_ = 0;
   size_t live_buffers_ = 0;
   uint64_t bytes_reserved_ = 0;

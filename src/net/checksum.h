@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
 
 #include "src/iolite/aggregate.h"
+#include "src/simos/pool_allocator.h"
 #include "src/simos/sim_context.h"
 
 namespace iolnet {
@@ -34,7 +36,10 @@ uint16_t ChecksumFold(uint32_t sum);
 // byte offset within the surrounding message.
 uint32_t ChecksumSwap(uint32_t sum);
 
-// LRU-bounded cache of per-slice partial checksums.
+// LRU-bounded cache of per-slice partial checksums. List and map nodes come
+// from freelist pools: at capacity, every Store recycles the evicted
+// entry's nodes, so the steady state (one fresh header generation per
+// transmission) runs without heap traffic.
 class ChecksumCache {
  public:
   explicit ChecksumCache(size_t capacity = 65536) : capacity_(capacity) {}
@@ -52,6 +57,7 @@ class ChecksumCache {
   void Store(const Key& key, uint32_t sum);
 
   size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
   void Clear();
 
  private:
@@ -65,9 +71,14 @@ class ChecksumCache {
     }
   };
 
+  using LruList = std::list<Key, iolsim::PoolAllocator<Key>>;
+  using MapEntry = std::pair<uint32_t, LruList::iterator>;
+
   size_t capacity_;
-  std::list<Key> lru_;
-  std::unordered_map<Key, std::pair<uint32_t, std::list<Key>::iterator>, KeyHash> map_;
+  LruList lru_;
+  std::unordered_map<Key, MapEntry, KeyHash, std::equal_to<Key>,
+                     iolsim::PoolAllocator<std::pair<const Key, MapEntry>>>
+      map_;
 };
 
 // The checksum module used by the TCP send path. When a cache is attached,
@@ -75,8 +86,10 @@ class ChecksumCache {
 // cost is charged only for bytes actually summed.
 class ChecksumModule {
  public:
-  ChecksumModule(iolsim::SimContext* ctx, bool cache_enabled)
-      : ctx_(ctx), cache_enabled_(cache_enabled) {}
+  // `cache_entries` bounds the LRU cache (tests shrink it to reach the
+  // at-capacity recycling steady state quickly).
+  ChecksumModule(iolsim::SimContext* ctx, bool cache_enabled, size_t cache_entries = 65536)
+      : ctx_(ctx), cache_enabled_(cache_enabled), cache_(cache_entries) {}
 
   // Computes the Internet checksum of the aggregate's contents.
   uint16_t Checksum(const iolite::Aggregate& agg);

@@ -11,10 +11,9 @@
 
 #include <cassert>
 #include <cstring>
-#include <memory>
-#include <vector>
 
 #include "src/iolite/slice.h"
+#include "src/iolite/small_vec.h"
 
 namespace iolnet {
 
@@ -60,7 +59,7 @@ class MbufChain {
   }
 
   size_t length() const { return total_; }
-  const std::vector<Mbuf>& mbufs() const { return mbufs_; }
+  const iolite::SmallVec<Mbuf, 4>& mbufs() const { return mbufs_; }
   bool empty() const { return mbufs_.empty(); }
 
   // Builds a chain from an aggregate: one external mbuf per slice. No data
@@ -74,7 +73,9 @@ class MbufChain {
   }
 
  private:
-  std::vector<Mbuf> mbufs_;
+  // Inline storage: a typical packet is one header mbuf plus a handful of
+  // external payload mbufs, so chain construction touches no allocator.
+  iolite::SmallVec<Mbuf, 4> mbufs_;
   size_t total_ = 0;
 };
 

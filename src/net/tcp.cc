@@ -62,16 +62,27 @@ void TcpConnection::ChargePackets(size_t n) {
   ctx->stats().packets_sent += packets == 0 ? 1 : packets;
 }
 
+char* TcpConnection::Scratch(size_t n) {
+  if (scratch_size_ < n) {
+    // Geometric growth, and make_unique_for_overwrite: the old exact-size
+    // make_unique<char[]> value-initialized (memset) the whole buffer right
+    // before every byte of it was overwritten by the send path.
+    size_t grown = scratch_size_ < 4096 ? 4096 : scratch_size_ * 2;
+    if (grown < n) {
+      grown = n;
+    }
+    scratch_ = std::make_unique_for_overwrite<char[]>(grown);
+    scratch_size_ = grown;
+  }
+  return scratch_.get();
+}
+
 size_t TcpConnection::SendCopy(const iolite::Aggregate& src) {
   assert(connected_);
   iolsim::SimContext* ctx = net_->ctx_;
   size_t n = src.size();
-  if (scratch_size_ < n) {
-    scratch_ = std::make_unique<char[]>(n);
-    scratch_size_ = n;
-  }
   // Copy into kernel send-buffer clusters...
-  src.CopyTo(scratch_.get());
+  src.CopyTo(Scratch(n));
   ctx->ChargeCpu(ctx->cost().CopyCost(n));
   ctx->stats().bytes_copied += n;
   ctx->stats().copy_ops++;
@@ -92,12 +103,9 @@ size_t TcpConnection::SendGatheredCopy(const char* header, size_t header_len,
   assert(connected_);
   iolsim::SimContext* ctx = net_->ctx_;
   size_t n = header_len + body.size();
-  if (scratch_size_ < n) {
-    scratch_ = std::make_unique<char[]>(n);
-    scratch_size_ = n;
-  }
-  std::memcpy(scratch_.get(), header, header_len);
-  body.CopyTo(scratch_.get() + header_len);
+  char* scratch = Scratch(n);
+  std::memcpy(scratch, header, header_len);
+  body.CopyTo(scratch + header_len);
   ctx->ChargeCpu(ctx->cost().CopyCost(n));
   ctx->stats().bytes_copied += n;
   ctx->stats().copy_ops++;
@@ -115,12 +123,9 @@ size_t TcpConnection::SendPrivateCopy(const char* a, size_t na, const char* b, s
   assert(connected_);
   iolsim::SimContext* ctx = net_->ctx_;
   size_t n = na + nb;
-  if (scratch_size_ < n) {
-    scratch_ = std::make_unique<char[]>(n);
-    scratch_size_ = n;
-  }
-  std::memcpy(scratch_.get(), a, na);
-  std::memcpy(scratch_.get() + na, b, nb);
+  char* scratch = Scratch(n);
+  std::memcpy(scratch, a, na);
+  std::memcpy(scratch + na, b, nb);
   ctx->ChargeCpu(ctx->cost().CopyCost(n));
   ctx->stats().bytes_copied += n;
   ctx->stats().copy_ops++;
@@ -134,7 +139,7 @@ size_t TcpConnection::SendPrivateCopy(const char* a, size_t na, const char* b, s
   return n;
 }
 
-void TcpConnection::TransmitAsync(size_t n, std::function<void()> done) {
+void TcpConnection::TransmitAsync(size_t n, iolsim::InlineCallback done) {
   if (n == 0) {
     // Header-only/empty response: one ACK-sized segment still occupies the
     // link for a negligible-but-ordered slot.
@@ -142,22 +147,44 @@ void TcpConnection::TransmitAsync(size_t n, std::function<void()> done) {
     ctx->link().AcquireAsync(&ctx->events(), 0, std::move(done));
     return;
   }
-  TransmitSegment(n, std::move(done));
+  net_->TransmitSegment(net_->AcquireTransmit(n, std::move(done)));
 }
 
-void TcpConnection::TransmitSegment(size_t remaining, std::function<void()> done) {
-  iolsim::SimContext* ctx = net_->ctx_;
-  size_t mtu = static_cast<size_t>(ctx->cost().params().mtu_bytes);
+uint32_t NetworkSubsystem::AcquireTransmit(size_t remaining, iolsim::InlineCallback done) {
+  uint32_t idx;
+  if (free_transmit_ != UINT32_MAX) {
+    idx = free_transmit_;
+    free_transmit_ = transmits_[idx].next_free;
+  } else {
+    idx = static_cast<uint32_t>(transmits_.size());
+    transmits_.emplace_back();
+  }
+  transmits_[idx].remaining = remaining;
+  transmits_[idx].done = std::move(done);
+  return idx;
+}
+
+void NetworkSubsystem::TransmitSegment(uint32_t idx) {
+  // Same link-reservation sequence as the old per-segment closure chain —
+  // one acquisition per MSS segment, the next reserved at the previous
+  // segment's completion event — but the state is a pooled node the
+  // completion re-arms, so steady-state transmission allocates nothing.
+  size_t remaining = transmits_[idx].remaining;
+  size_t mtu = static_cast<size_t>(ctx_->cost().params().mtu_bytes);
   size_t seg = remaining < mtu ? remaining : mtu;
-  ctx->link().AcquireAsync(
-      &ctx->events(), ctx->cost().WireTime(seg),
-      [this, rest = remaining - seg, done = std::move(done)]() mutable {
-        if (rest == 0) {
-          done();
-        } else {
-          TransmitSegment(rest, std::move(done));
-        }
-      });
+  transmits_[idx].remaining = remaining - seg;
+  iolsim::SimTime wire = seg == mtu ? mss_wire_time_ : ctx_->cost().WireTime(seg);
+  ctx_->link().AcquireAsync(&ctx_->events(), wire, [this, idx] {
+    TransmitState& t = transmits_[idx];
+    if (t.remaining == 0) {
+      iolsim::InlineCallback done = std::move(t.done);
+      t.next_free = free_transmit_;
+      free_transmit_ = idx;
+      done();
+    } else {
+      TransmitSegment(idx);
+    }
+  });
 }
 
 size_t TcpConnection::SendAggregate(const iolite::Aggregate& agg) {

@@ -20,13 +20,14 @@
 #define SRC_NET_TCP_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/iolite/aggregate.h"
 #include "src/net/checksum.h"
 #include "src/net/mbuf.h"
+#include "src/simos/inline_function.h"
 #include "src/simos/sim_context.h"
 
 namespace iolnet {
@@ -34,8 +35,12 @@ namespace iolnet {
 // Shared state of the simulated network stack.
 class NetworkSubsystem {
  public:
-  NetworkSubsystem(iolsim::SimContext* ctx, bool checksum_cache_enabled)
-      : ctx_(ctx), checksum_(ctx, checksum_cache_enabled) {}
+  NetworkSubsystem(iolsim::SimContext* ctx, bool checksum_cache_enabled,
+                   size_t checksum_cache_entries = 65536)
+      : ctx_(ctx),
+        checksum_(ctx, checksum_cache_enabled, checksum_cache_entries),
+        mss_wire_time_(ctx->cost().WireTime(
+            static_cast<uint64_t>(ctx->cost().params().mtu_bytes))) {}
 
   NetworkSubsystem(const NetworkSubsystem&) = delete;
   NetworkSubsystem& operator=(const NetworkSubsystem&) = delete;
@@ -50,11 +55,34 @@ class NetworkSubsystem {
     return ctx_->memory().reservation("socket_send_buffers");
   }
 
+  // High-water mark of the pooled in-flight transmission states (one per
+  // concurrently transmitting response; pool-stats tests read this).
+  size_t transmit_pool_size() const { return transmits_.size(); }
+
  private:
   friend class TcpConnection;
+
+  // One in-flight per-segment transmission, pooled on a free list so the
+  // per-MSS-segment hot path re-arms the same state instead of building a
+  // closure chain (one heap allocation per segment, pre-pool).
+  struct TransmitState {
+    size_t remaining = 0;
+    iolsim::InlineCallback done;
+    uint32_t next_free = UINT32_MAX;
+  };
+
+  uint32_t AcquireTransmit(size_t remaining, iolsim::InlineCallback done);
+  // Stages the next MSS-sized segment of `idx` onto the shared link.
+  void TransmitSegment(uint32_t idx);
+
   iolsim::SimContext* ctx_;
   ChecksumModule checksum_;
   int open_connections_ = 0;
+  std::vector<TransmitState> transmits_;
+  uint32_t free_transmit_ = UINT32_MAX;
+  // WireTime(MSS), precomputed: every non-final segment of every response
+  // costs exactly this, so the per-segment hot path skips the FP math.
+  iolsim::SimTime mss_wire_time_;
 };
 
 class TcpConnection {
@@ -103,14 +131,18 @@ class TcpConnection {
   // transmissions interleave at segment granularity instead of serializing
   // whole responses. `done` runs when the last segment has left the wire.
   // The CPU-side costs were already charged by the Send* call that queued
-  // the bytes; this models only wire occupancy.
-  void TransmitAsync(size_t n, std::function<void()> done);
+  // the bytes; this models only wire occupancy. The per-segment state rides
+  // in the NetworkSubsystem's TransmitState pool: no allocation per segment
+  // or per transmission.
+  void TransmitAsync(size_t n, iolsim::InlineCallback done);
 
   uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
   void ChargePackets(size_t n);
-  void TransmitSegment(size_t remaining, std::function<void()> done);
+  // Ensures the scratch send buffer holds `n` bytes, growing geometrically
+  // and without value-initializing storage that is overwritten anyway.
+  char* Scratch(size_t n);
 
   NetworkSubsystem* net_;
   bool iolite_sockets_;

@@ -1,0 +1,128 @@
+// InlineFunction: a move-only callable with fixed inline storage.
+//
+// The discrete-event engine dispatches tens of millions of continuations per
+// experiment; storing them as std::function costs one heap allocation per
+// event once captures exceed the library's tiny SSO buffer. InlineFunction
+// stores the callable in-place — a capture that does not fit is a
+// compile-time error, not a silent allocation — so scheduling an event never
+// touches the allocator.
+//
+// The capture-size contract: callbacks flowing through EventQueue/Resource
+// capture at most kInlineCallbackBytes (48) bytes — a handful of pointers
+// and integers. Larger per-request state (a pending read's aggregate, a
+// transmission's remaining byte count) lives in pooled nodes owned by the
+// subsystem that schedules the callback, and the callback captures the node
+// pointer. See README "The event engine" for the pooling strategy.
+
+#ifndef SRC_SIMOS_INLINE_FUNCTION_H_
+#define SRC_SIMOS_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iolsim {
+
+inline constexpr size_t kInlineCallbackBytes = 48;
+
+template <typename Signature, size_t kBytes = kInlineCallbackBytes>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t kBytes>
+class InlineFunction<R(Args...), kBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kBytes,
+                  "capture too large for InlineFunction: shrink the capture or move the "
+                  "state into a pooled node and capture its pointer");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "captures must be nothrow-movable (events are moved out of the heap)");
+    if constexpr (sizeof(Fn) < kBytes) {
+      // Defined tail: moves blanket-memcpy the storage, which must never
+      // read indeterminate bytes (MemorySanitizer/valgrind cleanliness).
+      __builtin_memset(storage_ + sizeof(Fn), 0, kBytes - sizeof(Fn));
+    }
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p, Args... args) -> R {
+      return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+    };
+    if constexpr (std::is_trivially_copyable_v<Fn>) {
+      relocate_ = nullptr;  // memcpy-movable, destructor-free: the fast path.
+    } else {
+      relocate_ = [](void* dst, void* src) {
+        if (dst != nullptr) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        }
+        static_cast<Fn*>(src)->~Fn();
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Destroy(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(static_cast<void*>(storage_), std::forward<Args>(args)...);
+  }
+
+ private:
+  void MoveFrom(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    if (invoke_ != nullptr) {
+      if (relocate_ != nullptr) {
+        relocate_(storage_, other.storage_);
+      } else {
+        __builtin_memcpy(storage_, other.storage_, kBytes);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  void Destroy() {
+    if (relocate_ != nullptr) {
+      relocate_(nullptr, storage_);
+    }
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kBytes];
+  R (*invoke_)(void*, Args...) = nullptr;
+  // Move-construct dst from src and destroy src; with dst == nullptr, just
+  // destroy src. Null for trivially-copyable captures.
+  void (*relocate_)(void* dst, void* src) = nullptr;
+};
+
+// The engine's continuation type.
+using InlineCallback = InlineFunction<void()>;
+
+}  // namespace iolsim
+
+#endif  // SRC_SIMOS_INLINE_FUNCTION_H_

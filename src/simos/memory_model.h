@@ -13,9 +13,19 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/simos/pool_allocator.h"
 
 namespace iolsim {
 
+// Category lookups are heterogeneous (string_view against std::string keys)
+// and a category whose reservation drops to zero keeps its entry: the
+// nonpersistent request path reserves and releases the socket send buffer
+// once per connection, and neither a temporary key string nor a map-node
+// round trip belongs on that path. Zero-byte entries are invisible to every
+// query (they add nothing to used() and reservation() reads 0).
 class MemoryModel {
  public:
   explicit MemoryModel(uint64_t total_bytes) : total_(total_bytes) {}
@@ -27,58 +37,62 @@ class MemoryModel {
   // reservation would exceed physical memory; the reservation is still
   // recorded (the VM system would page, which the file cache budget then
   // reflects as zero).
-  bool Reserve(const std::string& category, uint64_t bytes) {
-    reserved_[category] += bytes;
-    return used() <= total_;
+  bool Reserve(std::string_view category, uint64_t bytes) {
+    Entry(category) += bytes;
+    used_ += bytes;
+    return used_ <= total_;
   }
 
   // Releases `bytes` from `category` (clamped at zero).
-  void Release(const std::string& category, uint64_t bytes) {
+  void Release(std::string_view category, uint64_t bytes) {
     auto it = reserved_.find(category);
     if (it == reserved_.end()) {
       return;
     }
-    if (it->second <= bytes) {
-      reserved_.erase(it);
-    } else {
-      it->second -= bytes;
-    }
+    uint64_t released = bytes < it->second ? bytes : it->second;
+    it->second -= released;
+    used_ -= released;
   }
 
   // Replaces the reservation under `category` with exactly `bytes`.
-  void Set(const std::string& category, uint64_t bytes) {
-    if (bytes == 0) {
-      reserved_.erase(category);
-    } else {
-      reserved_[category] = bytes;
-    }
+  void Set(std::string_view category, uint64_t bytes) {
+    uint64_t& entry = Entry(category);
+    used_ += bytes - entry;
+    entry = bytes;
   }
 
-  uint64_t reservation(const std::string& category) const {
+  uint64_t reservation(std::string_view category) const {
     auto it = reserved_.find(category);
     return it == reserved_.end() ? 0 : it->second;
   }
 
-  // Sum of all reservations.
-  uint64_t used() const {
-    uint64_t sum = 0;
-    for (const auto& [name, bytes] : reserved_) {
-      sum += bytes;
-    }
-    return sum;
-  }
+  // Sum of all reservations (maintained incrementally).
+  uint64_t used() const { return used_; }
 
   // Memory left over for the file cache after all other reservations.
   uint64_t CacheBudget() const {
-    uint64_t u = used();
-    return u >= total_ ? 0 : total_ - u;
+    return used_ >= total_ ? 0 : total_ - used_;
   }
 
-  void Reset() { reserved_.clear(); }
+  void Reset() {
+    reserved_.clear();
+    used_ = 0;
+  }
 
  private:
+  uint64_t& Entry(std::string_view category) {
+    auto it = reserved_.find(category);
+    if (it == reserved_.end()) {
+      it = reserved_.emplace(std::string(category), 0).first;
+    }
+    return it->second;
+  }
+
   uint64_t total_;
-  std::map<std::string, uint64_t> reserved_;
+  uint64_t used_ = 0;
+  std::map<std::string, uint64_t, std::less<>,
+           PoolAllocator<std::pair<const std::string, uint64_t>>>
+      reserved_;
 };
 
 }  // namespace iolsim

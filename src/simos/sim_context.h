@@ -39,10 +39,11 @@ class SimContext {
   explicit SimContext(const CostParams& params)
       : cost_(params),
         memory_(params.ram_bytes),
-        events_(&clock_),
+        events_(&clock_, &stats_.events_dispatched),
         cpu_(&clock_, params.cpu_count),
         disk_(&clock_, params.disk_count),
         link_(&clock_),
+        chain_(&events_),
         vm_(std::make_unique<VmSystem>(this)) {
     memory_.Set("kernel", params.kernel_reserved_bytes);
   }
@@ -63,6 +64,9 @@ class SimContext {
   Resource& cpu() { return cpu_; }
   Resource& disk() { return disk_; }
   Resource& link() { return link_; }
+
+  // Pooled two-hop acquisitions over those resources (disk-then-CPU stages).
+  ResourceChain& chain() { return chain_; }
 
   // Charges `t` of CPU time: into the active tally, or directly onto the
   // clock when no tally is active.
@@ -111,6 +115,7 @@ class SimContext {
   Resource cpu_;
   Resource disk_;
   Resource link_;
+  ResourceChain chain_;
   std::unique_ptr<VmSystem> vm_;
   Tally* tally_ = nullptr;
 };

@@ -49,6 +49,11 @@ struct SimStats {
   // Syscall boundary crossings.
   uint64_t syscalls = 0;
 
+  // Discrete-event engine: callbacks dispatched by the EventQueue. The
+  // wall-clock benchmarks divide this by elapsed host time to report
+  // events_per_sec; simulated results must not depend on it.
+  uint64_t events_dispatched = 0;
+
   // Shared-memory IPC (src/ipc): the real-transport descriptor rings.
   // `ipc_bytes_transferred` counts payload moved purely by reference (never
   // touched by the transport); `ipc_bytes_copied` counts payload that had to

@@ -26,6 +26,10 @@ namespace iolsys {
 struct SystemOptions {
   iolsim::CostParams cost;
   bool checksum_cache = true;
+  // LRU capacity (entries) of the checksum cache. The default matches the
+  // old hard-coded bound; allocation tests shrink it so the at-capacity
+  // recycling steady state is reached within a short warmup.
+  size_t checksum_cache_entries = 65536;
   // Initial cache policy; replaced via Flash-Lite's customization hook when
   // an experiment asks for GDS.
   enum class Policy { kPaperLru, kPlainLru, kGds } policy = Policy::kPaperLru;
@@ -40,7 +44,7 @@ class System {
         cache_(&ctx_, MakePolicy(options.policy)),
         io_(&ctx_, &fs_, &cache_),
         posix_(&ctx_, &io_, runtime_.kernel_pool()),
-        net_(&ctx_, options.checksum_cache) {}
+        net_(&ctx_, options.checksum_cache, options.checksum_cache_entries) {}
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;

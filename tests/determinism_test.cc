@@ -1,0 +1,220 @@
+// Determinism and golden-parity tests for the discrete-event engine.
+//
+// The allocation-free engine rebuild (pooled events, inline continuations,
+// heap-of-PODs event queue, O(1) resource units) must not perturb simulated
+// results: same event order, same Telemetry streams, same figure numbers.
+// Two layers of defense:
+//
+//  * Run-twice parity: a fig03-style experiment executed twice in-process
+//    yields byte-identical per-request record streams.
+//  * Golden end-to-end checks: the fig03/fig05 smoke configurations are
+//    pinned to the exact numbers the pre-rebuild engine produced (captured
+//    from commit e6f7449 + the events_dispatched counter). Any engine
+//    change that reorders events, re-times a stage, or double-counts an
+//    operation fails these loudly. If a change is *supposed* to alter
+//    simulated behavior, recapture the goldens and say so in the PR.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/driver/experiment.h"
+#include "src/driver/telemetry.h"
+#include "src/driver/workload.h"
+#include "src/system/system.h"
+
+namespace {
+
+using iolbench::ServerKind;
+
+// One golden row: end-to-end result + machine counters for a smoke config.
+struct Golden {
+  uint64_t requests;
+  uint64_t bytes;
+  double mbps;
+  double p50_ms;
+  double p99_ms;
+  double cache_hit_rate;
+  uint64_t bytes_copied;
+  uint64_t bytes_checksummed;
+  uint64_t checksum_cache_hits;
+  uint64_t pages_mapped;
+  uint64_t syscalls;
+  uint64_t packets_sent;
+  uint64_t tcp_connections;
+  uint64_t disk_reads;
+  uint64_t events_dispatched;
+  int64_t final_clock_ns;
+};
+
+struct RunOutput {
+  ioldrv::ExperimentResult result;
+  iolsim::SimStats stats;
+  int64_t final_clock_ns = 0;
+  std::vector<ioldrv::RequestRecord> records;
+};
+
+// The fig03 smoke shape: 8 clients, 120 counted requests, 20 warmup,
+// nonpersistent connections, one document.
+RunOutput RunSingleFileSmoke(ServerKind kind, size_t file_bytes) {
+  iolbench::Bench b = iolbench::MakeBench(kind);
+  iolfs::FileId f = b.sys->fs().CreateFile("doc", file_bytes);
+  ioldrv::ExperimentConfig config;
+  config.persistent_connections = false;
+  config.max_requests = 120;
+  config.warmup_requests = 20;
+  ioldrv::ClosedLoop workload(8);
+  ioldrv::Experiment experiment(&b.sys->ctx(), &b.sys->net(), &b.sys->cache(),
+                                b.server.get(), config);
+  RunOutput out;
+  out.result = experiment.Run(&workload, [f] { return f; });
+  out.stats = b.sys->ctx().stats();
+  out.final_clock_ns = b.sys->ctx().clock().now();
+  out.records = experiment.telemetry().records();
+  return out;
+}
+
+// The fig05 smoke shape: same population, FastCGI servers.
+RunOutput RunCgiSmoke(ServerKind kind, size_t doc_bytes, iolhttp::CgiTransport transport) {
+  iolsys::SystemOptions options;
+  options.checksum_cache = iolbench::IsLite(kind);
+  auto sys = std::make_unique<iolsys::System>(options);
+  sys->fs().CreateFile("unused", 16);
+  std::unique_ptr<iolhttp::HttpServer> server;
+  if (iolbench::IsLite(kind)) {
+    server = std::make_unique<iolhttp::LiteCgiServer>(&sys->ctx(), &sys->net(), &sys->io(),
+                                                      &sys->runtime(), doc_bytes, transport);
+  } else {
+    server = std::make_unique<iolhttp::CopyCgiServer>(&sys->ctx(), &sys->net(), &sys->io(),
+                                                      doc_bytes, kind == ServerKind::kApache);
+  }
+  ioldrv::ExperimentConfig config;
+  config.persistent_connections = false;
+  config.max_requests = 120;
+  config.warmup_requests = 20;
+  ioldrv::ClosedLoop workload(8);
+  ioldrv::Experiment experiment(&sys->ctx(), &sys->net(), &sys->cache(), server.get(),
+                                config);
+  RunOutput out;
+  out.result = experiment.Run(&workload, [] { return iolfs::FileId{1}; });
+  out.stats = sys->ctx().stats();
+  out.final_clock_ns = sys->ctx().clock().now();
+  out.records = experiment.telemetry().records();
+  return out;
+}
+
+void ExpectMatchesGolden(const RunOutput& out, const Golden& g) {
+  EXPECT_EQ(out.result.requests, g.requests);
+  EXPECT_EQ(out.result.bytes, g.bytes);
+  EXPECT_DOUBLE_EQ(out.result.megabits_per_sec, g.mbps);
+  EXPECT_DOUBLE_EQ(out.result.latency.p50_ms, g.p50_ms);
+  EXPECT_DOUBLE_EQ(out.result.latency.p99_ms, g.p99_ms);
+  EXPECT_DOUBLE_EQ(out.result.cache_hit_rate, g.cache_hit_rate);
+  EXPECT_EQ(out.stats.bytes_copied, g.bytes_copied);
+  EXPECT_EQ(out.stats.bytes_checksummed, g.bytes_checksummed);
+  EXPECT_EQ(out.stats.checksum_cache_hits, g.checksum_cache_hits);
+  EXPECT_EQ(out.stats.pages_mapped, g.pages_mapped);
+  EXPECT_EQ(out.stats.syscalls, g.syscalls);
+  EXPECT_EQ(out.stats.packets_sent, g.packets_sent);
+  EXPECT_EQ(out.stats.tcp_connections, g.tcp_connections);
+  EXPECT_EQ(out.stats.disk_reads, g.disk_reads);
+  EXPECT_EQ(out.stats.events_dispatched, g.events_dispatched);
+  EXPECT_EQ(out.final_clock_ns, g.final_clock_ns);
+}
+
+// --- Run-twice parity --------------------------------------------------------
+
+void ExpectIdenticalStreams(const std::vector<ioldrv::RequestRecord>& a,
+                            const std::vector<ioldrv::RequestRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].issue, b[i].issue) << "record " << i;
+    EXPECT_EQ(a[i].admit, b[i].admit) << "record " << i;
+    EXPECT_EQ(a[i].complete, b[i].complete) << "record " << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << "record " << i;
+    EXPECT_EQ(a[i].server, b[i].server) << "record " << i;
+    EXPECT_EQ(a[i].cache_hit, b[i].cache_hit) << "record " << i;
+    EXPECT_EQ(a[i].counted, b[i].counted) << "record " << i;
+  }
+}
+
+TEST(DeterminismTest, SingleFileRunTwiceProducesIdenticalTelemetryStreams) {
+  RunOutput a = RunSingleFileSmoke(ServerKind::kFlash, 5 * 1024);
+  RunOutput b = RunSingleFileSmoke(ServerKind::kFlash, 5 * 1024);
+  ExpectIdenticalStreams(a.records, b.records);
+  EXPECT_EQ(a.final_clock_ns, b.final_clock_ns);
+  EXPECT_EQ(a.stats.events_dispatched, b.stats.events_dispatched);
+}
+
+TEST(DeterminismTest, LiteRunTwiceProducesIdenticalTelemetryStreams) {
+  RunOutput a = RunSingleFileSmoke(ServerKind::kFlashLite, 50 * 1024);
+  RunOutput b = RunSingleFileSmoke(ServerKind::kFlashLite, 50 * 1024);
+  ExpectIdenticalStreams(a.records, b.records);
+  EXPECT_EQ(a.final_clock_ns, b.final_clock_ns);
+  EXPECT_EQ(a.stats.events_dispatched, b.stats.events_dispatched);
+}
+
+// --- Golden end-to-end checks (values captured on the pre-rebuild engine) ----
+
+TEST(GoldenTest, Fig03Flash5k) {
+  ExpectMatchesGolden(RunSingleFileSmoke(ServerKind::kFlash, 5 * 1024),
+                      Golden{120, 644400, 116.99346405228758, 1.4705999999999999,
+                             45.560758, 0.94482758620689655, 789390, 789390, 0, 16, 147,
+                             735, 147, 8, 1332, 71310982});
+}
+
+TEST(GoldenTest, Fig03Apache5k) {
+  ExpectMatchesGolden(RunSingleFileSmoke(ServerKind::kApache, 5 * 1024),
+                      Golden{120, 644400, 43.355255411837923, 8.1411999999999995,
+                             63.880388000000004, 0.94326241134751776, 789390, 789390, 0,
+                             16, 147, 735, 147, 8, 1332, 154376538});
+}
+
+TEST(GoldenTest, Fig03FlashLite5k) {
+  ExpectMatchesGolden(RunSingleFileSmoke(ServerKind::kFlashLite, 5 * 1024),
+                      Golden{120, 644400, 136.42335189254055, 1.2596639999999999,
+                             45.250067999999999, 0.94482758620689655, 36750, 77710, 139,
+                             32, 294, 735, 147, 8, 1332, 71277848});
+}
+
+TEST(GoldenTest, Fig03Flash50k) {
+  ExpectMatchesGolden(RunSingleFileSmoke(ServerKind::kFlash, 50 * 1024),
+                      Golden{120, 6174000, 228.789535120713, 14.41, 83.286567000000005,
+                             0.94405594405594406, 7563150, 7563150, 0, 104, 147, 5439,
+                             147, 8, 6036, 280757067});
+}
+
+TEST(GoldenTest, Fig03FlashLite50k) {
+  ExpectMatchesGolden(RunSingleFileSmoke(ServerKind::kFlashLite, 50 * 1024),
+                      Golden{120, 6174000, 337.62306893012567, 9.6449269999999991,
+                             82.218368999999996, 0.94405594405594406, 36750, 446350, 139,
+                             144, 294, 5439, 147, 8, 6036, 197331394});
+}
+
+TEST(GoldenTest, Fig05FlashCgi20k) {
+  ExpectMatchesGolden(
+      RunCgiSmoke(ServerKind::kFlash, 20 * 1024, iolhttp::CgiTransport::kSimulatedPipe),
+      Golden{120, 2487600, 109.41724627985322, 12.103327999999999, 12.479328000000001, 0,
+             9068430, 3047310, 0, 0, 441, 2352, 147, 0, 3088, 222859312});
+}
+
+TEST(GoldenTest, Fig05LiteCgi20k) {
+  ExpectMatchesGolden(
+      RunCgiSmoke(ServerKind::kFlashLite, 20 * 1024, iolhttp::CgiTransport::kSimulatedPipe),
+      Golden{120, 2487600, 213.36952735596165, 6.2233280000000004, 6.4433280000000002, 0,
+             57230, 57230, 146, 48, 441, 2352, 147, 0, 3088, 115227989});
+}
+
+TEST(GoldenTest, Fig05LiteCgiShm20k) {
+  // The real shared-memory transport: byte-identical responses, same event
+  // count, marginally different instants (descriptor staging costs).
+  ExpectMatchesGolden(
+      RunCgiSmoke(ServerKind::kFlashLite, 20 * 1024, iolhttp::CgiTransport::kShmRing),
+      Golden{120, 2487600, 213.31155742122181, 6.2250319999999997, 6.4450320000000003, 0,
+             57230, 57230, 146, 48, 441, 2352, 147, 0, 3088, 115259300});
+}
+
+}  // namespace

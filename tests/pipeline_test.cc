@@ -1,11 +1,17 @@
 // Tests for the staged request pipeline's scheduler: asynchronous Resource
 // acquisition (FIFO fairness, deterministic tie-breaking, multi-unit CPUs),
 // admission control (max_concurrent queues, never drops), disk/CPU overlap
-// under cold caches, open-loop arrivals and pipelined connections.
+// under cold caches, open-loop arrivals, pipelined connections — and the
+// allocation-free engine contract: steady-state request turnover on a warm
+// cache performs zero heap allocations (counting-allocator tests below).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -13,7 +19,34 @@
 #include "src/driver/workload.h"
 #include "src/httpd/http_server.h"
 #include "src/simos/event_queue.h"
+#include "src/simos/inline_function.h"
 #include "src/system/system.h"
+
+// Counting allocator: every operator-new in this test binary bumps a
+// counter, so tests can assert that a code region allocates exactly zero
+// times. Deallocation is left untouched (frees are not the contract).
+static std::atomic<uint64_t> g_alloc_count{0};
+
+void* operator new(size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) {
+    abort();
+  }
+  return p;
+}
+void* operator new[](size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) {
+    abort();
+  }
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -100,6 +133,145 @@ TEST(AsyncResourceTest, SyncAndAsyncAcquisitionsShareTheQueue) {
   events.RunAll();
   EXPECT_TRUE(ran);
   EXPECT_EQ(clock.now(), 150);
+}
+
+TEST(AsyncResourceTest, ManyUnitHeapMatchesLinearScanSemantics) {
+  // 12 units exercises the index-heap path (units > 8): earliest-free unit,
+  // lowest index on ties — byte-identical to the old linear scan.
+  VirtualClock clock;
+  EventQueue events(&clock);
+  Resource r(&clock, 12);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 30; ++i) {
+    r.AcquireAsync(&events, 50 + (i % 3) * 25, [&] { completions.push_back(clock.now()); });
+  }
+  events.RunAll();
+  ASSERT_EQ(completions.size(), 30u);
+  // Mirror of the original linear-scan reservation loop.
+  std::vector<SimTime> unit_free(12, 0);
+  std::vector<SimTime> expected;
+  for (int i = 0; i < 30; ++i) {
+    size_t best = 0;
+    for (size_t u = 1; u < unit_free.size(); ++u) {
+      if (unit_free[u] < unit_free[best]) {
+        best = u;
+      }
+    }
+    unit_free[best] += 50 + (i % 3) * 25;
+    expected.push_back(unit_free[best]);
+  }
+  std::sort(expected.begin(), expected.end());
+  std::vector<SimTime> got = completions;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+  SimTime busy = 0;
+  for (int i = 0; i < 30; ++i) {
+    busy += 50 + (i % 3) * 25;
+  }
+  EXPECT_EQ(r.busy_time(), busy);
+}
+
+// --- InlineFunction ----------------------------------------------------------
+
+TEST(InlineFunctionTest, MoveTransfersOwnershipAndState) {
+  int runs = 0;
+  iolsim::InlineCallback a = [&runs] { ++runs; };
+  iolsim::InlineCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(InlineFunctionTest, NonTrivialCapturesDestructExactlyOnce) {
+  std::shared_ptr<int> token = std::make_shared<int>(7);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    iolsim::InlineCallback cb = [token] { (void)*token; };
+    EXPECT_EQ(token.use_count(), 2);
+    iolsim::InlineCallback moved = std::move(cb);
+    EXPECT_EQ(token.use_count(), 2);  // Moved, not copied.
+    moved();
+  }
+  EXPECT_EQ(token.use_count(), 1);  // Destroyed with the callback.
+}
+
+// --- Zero-allocation steady state --------------------------------------------
+
+namespace zero_alloc {
+
+// Direct-mode loop: one persistent connection, one warm document, repeated
+// HandleRequest. After warmup (cache hot, pools at high-water, checksum
+// cache at capacity) the loop must not touch the heap at all.
+template <typename MakeServerFn>
+uint64_t CountWarmLoopAllocs(iolsys::SystemOptions options, MakeServerFn make_server) {
+  options.checksum_cache_entries = 64;  // Reach eviction steady state fast.
+  iolsys::System sys(options);
+  std::unique_ptr<iolhttp::HttpServer> server = make_server(&sys);
+  iolfs::FileId f = sys.fs().CreateFile("doc", 5 * 1024);
+  iolnet::TcpConnection conn(&sys.net(), server->uses_iolite_sockets());
+  conn.Connect();
+  for (int i = 0; i < 200; ++i) {  // Warmup: fill caches, grow pools.
+    server->HandleRequest(&conn, f);
+  }
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    server->HandleRequest(&conn, f);
+  }
+  uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  conn.Close();
+  return after - before;
+}
+
+}  // namespace zero_alloc
+
+TEST(ZeroAllocTest, WarmFlashRequestLoopAllocatesNothing) {
+  iolsys::SystemOptions options;
+  options.checksum_cache = false;
+  uint64_t allocs = zero_alloc::CountWarmLoopAllocs(options, [](iolsys::System* sys) {
+    return std::make_unique<FlashServer>(&sys->ctx(), &sys->net(), &sys->io());
+  });
+  EXPECT_EQ(allocs, 0u) << "copy-path warm request loop must not touch the heap";
+}
+
+TEST(ZeroAllocTest, WarmFlashLiteRequestLoopAllocatesNothing) {
+  iolsys::SystemOptions options;
+  options.checksum_cache = true;
+  options.policy = iolsys::SystemOptions::Policy::kGds;
+  uint64_t allocs = zero_alloc::CountWarmLoopAllocs(options, [](iolsys::System* sys) {
+    return std::make_unique<FlashLiteServer>(&sys->ctx(), &sys->net(), &sys->io(),
+                                             &sys->runtime());
+  });
+  EXPECT_EQ(allocs, 0u) << "IO-Lite warm request loop (header generations, checksum "
+                           "cache churn included) must not touch the heap";
+}
+
+TEST(ZeroAllocTest, SteadyStateExperimentTurnoverAllocatesNothing) {
+  // Whole-engine version: the same closed-loop experiment at two lengths
+  // allocates the same absolute number of times — i.e. per-request turnover
+  // (driver lanes, events, transmissions, telemetry) is allocation-free
+  // once the population and pools reach steady state.
+  auto total_allocs = [](uint64_t requests) {
+    iolsys::SystemOptions options;
+    options.checksum_cache_entries = 64;
+    iolsys::System sys(options);
+    FlashServer flash(&sys.ctx(), &sys.net(), &sys.io());
+    iolfs::FileId f = sys.fs().CreateFile("doc", 5 * 1024);
+    ioldrv::ExperimentConfig config;
+    config.persistent_connections = true;
+    config.max_requests = requests;
+    config.warmup_requests = 500;
+    ClosedLoop workload(8);
+    Experiment experiment(&sys.ctx(), &sys.net(), &sys.cache(), &flash, config);
+    uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    experiment.Run(&workload, [f] { return f; });
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  };
+  uint64_t short_run = total_allocs(1000);
+  uint64_t long_run = total_allocs(3000);
+  // The long run reserves a larger telemetry vector in its single up-front
+  // allocation; the *count* of allocations must not grow with requests.
+  EXPECT_EQ(short_run, long_run);
 }
 
 // --- Multi-CPU scaling -------------------------------------------------------
