@@ -77,7 +77,11 @@ class JsonReporter {
 
   void Add(const std::string& series, double x, double value) {
     if (!path_.empty()) {
-      rows_.push_back(Row{series, x, value, false, false, {}, 0, 0, 0, 0});
+      Row row;
+      row.series = series;
+      row.x = x;
+      row.value = value;
+      rows_.push_back(std::move(row));
     }
   }
 
@@ -85,21 +89,40 @@ class JsonReporter {
   void AddPerf(const std::string& series, double x, double value, double wall_ms,
                double events_per_sec) {
     if (!path_.empty()) {
-      rows_.push_back(Row{series, x, value, false, true, {}, 0, 0, wall_ms, events_per_sec});
+      Row row;
+      row.series = series;
+      row.x = x;
+      row.value = value;
+      row.has_perf = true;
+      row.wall_ms = wall_ms;
+      row.events_per_sec = events_per_sec;
+      rows_.push_back(std::move(row));
     }
   }
 
   // Serializes the structured result: `value` is throughput (Mb/s), the
-  // latency summary and wall-clock performance ride along as explicit
-  // fields.
+  // latency summary, per-tier proxy fields and wall-clock performance ride
+  // along as explicit fields.
   void AddExperiment(const std::string& series, double x,
                      const ioldrv::ExperimentResult& result) {
     if (!path_.empty()) {
-      double events_per_sec =
+      Row row;
+      row.series = series;
+      row.x = x;
+      row.value = result.megabits_per_sec;
+      row.has_latency = true;
+      row.has_perf = true;
+      row.latency = result.latency;
+      row.requests = result.requests;
+      row.cache_hit_rate = result.cache_hit_rate;
+      row.proxy_hit_rate = result.proxy_hit_rate;
+      row.origin_hit_rate = result.origin_hit_rate;
+      row.bytes_copied_backhaul = result.bytes_copied_backhaul;
+      row.origin_p99_ms = result.origin_latency.p99_ms;
+      row.wall_ms = result.wall_ms;
+      row.events_per_sec =
           result.wall_ms > 0 ? result.events_dispatched / (result.wall_ms / 1000.0) : 0;
-      rows_.push_back(Row{series, x, result.megabits_per_sec, true, true, result.latency,
-                          result.requests, result.cache_hit_rate, result.wall_ms,
-                          events_per_sec});
+      rows_.push_back(std::move(row));
     }
   }
 
@@ -120,15 +143,23 @@ class JsonReporter {
                  smoke_ ? "true" : "false");
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      std::fprintf(f, "%s\n  {\"series\": \"%s\", \"x\": %.6g, \"value\": %.6g",
-                   i == 0 ? "" : ",", r.series.c_str(), r.x, r.value);
+      // The per-tier proxy fields appear on every row (zeros outside proxy
+      // experiments) so one schema covers every BENCH_*.json.
+      std::fprintf(f,
+                   "%s\n  {\"series\": \"%s\", \"x\": %.6g, \"value\": %.6g, "
+                   "\"proxy_hit_rate\": %.6g, \"origin_hit_rate\": %.6g, "
+                   "\"bytes_copied_backhaul\": %llu",
+                   i == 0 ? "" : ",", r.series.c_str(), r.x, r.value, r.proxy_hit_rate,
+                   r.origin_hit_rate,
+                   static_cast<unsigned long long>(r.bytes_copied_backhaul));
       if (r.has_latency) {
         std::fprintf(f,
                      ", \"requests\": %llu, \"cache_hit_rate\": %.6g, \"p50_ms\": %.6g, "
-                     "\"p90_ms\": %.6g, \"p99_ms\": %.6g, \"max_ms\": %.6g",
+                     "\"p90_ms\": %.6g, \"p99_ms\": %.6g, \"max_ms\": %.6g, "
+                     "\"origin_p99_ms\": %.6g",
                      static_cast<unsigned long long>(r.requests), r.cache_hit_rate,
                      r.latency.p50_ms, r.latency.p90_ms, r.latency.p99_ms,
-                     r.latency.max_ms);
+                     r.latency.max_ms, r.origin_p99_ms);
       }
       if (r.has_perf) {
         std::fprintf(f, ", \"wall_ms\": %.6g, \"events_per_sec\": %.6g", r.wall_ms,
@@ -144,15 +175,19 @@ class JsonReporter {
  private:
   struct Row {
     std::string series;
-    double x;
-    double value;
-    bool has_latency;
-    bool has_perf;
+    double x = 0;
+    double value = 0;
+    bool has_latency = false;
+    bool has_perf = false;
     ioldrv::LatencySummary latency;
-    uint64_t requests;
-    double cache_hit_rate;
-    double wall_ms;
-    double events_per_sec;
+    uint64_t requests = 0;
+    double cache_hit_rate = 0;
+    double proxy_hit_rate = 0;
+    double origin_hit_rate = 0;
+    uint64_t bytes_copied_backhaul = 0;
+    double origin_p99_ms = 0;
+    double wall_ms = 0;
+    double events_per_sec = 0;
   };
   std::string figure_;
   std::string path_;

@@ -70,3 +70,25 @@ for f in "$out_dir/BENCH_fig_latency_load.json" "$out_dir/BENCH_sweep_fleet.json
   fi
   echo "== schema check ok: $f has non-zero p99_ms"
 done
+
+# Proxy-tier schema check: every row carries the per-tier fields, and the
+# proxy fig must report real (non-zero) proxy hit rates plus zero backhaul
+# copies on its IO-Lite series.
+f="$out_dir/BENCH_fig_proxy_tier.json"
+if [ -f "$f" ]; then
+  for field in proxy_hit_rate origin_hit_rate bytes_copied_backhaul; do
+    if ! grep -q "\"$field\": " "$f"; then
+      echo "schema check failed: no $field fields in $f" >&2
+      exit 1
+    fi
+  done
+  if ! grep '"proxy_hit_rate": ' "$f" | grep -qv '"proxy_hit_rate": 0[,}]'; then
+    echo "schema check failed: every proxy_hit_rate is zero in $f" >&2
+    exit 1
+  fi
+  if grep '"series": "IOL-' "$f" | grep -qv '"bytes_copied_backhaul": 0[,}]'; then
+    echo "schema check failed: an IO-Lite series row copied backhaul bytes in $f" >&2
+    exit 1
+  fi
+  echo "== schema check ok: $f per-tier fields present, IO-Lite rows copy-free"
+fi

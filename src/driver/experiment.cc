@@ -138,6 +138,7 @@ ExperimentResult Experiment::Run(Workload* workload, RequestSource next_file,
   result.events_dispatched = ctx_->stats().events_dispatched - events_base;
   result.requests = counted_requests_;
   result.bytes = counted_bytes_;
+  result.count_start = count_start_;
   result.seconds = iolsim::ToSeconds(ctx_->clock().now() - count_start_);
   if (result.seconds > 0) {
     result.megabits_per_sec =

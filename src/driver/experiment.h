@@ -86,6 +86,24 @@ struct ExperimentResult {
   LatencySummary latency;
   std::vector<ServerShare> per_server;
 
+  // Proxy-tier fields (filled by ProxyTier; zero for single-tier runs, and
+  // serialized on every JsonReporter row so BENCH_*.json schemas are
+  // uniform across figures). Hit rates cover the whole run, like
+  // cache_hit_rate above.
+  double proxy_hit_rate = 0;
+  double origin_hit_rate = 0;
+  // Payload fetched over the backhaul, and the subset of it a copy-based
+  // proxy memcpy'd into its private cache on arrival. A warm co-located
+  // IO-Lite run reports 0 for both.
+  uint64_t backhaul_bytes = 0;
+  uint64_t bytes_copied_backhaul = 0;
+  // Backhaul fetch latency (proxy miss to object resident at the proxy).
+  LatencySummary origin_latency;
+  // Instant the measurement window opened (the warmup-th completion; 0
+  // when warmup_requests == 0). ProxyTier classifies backhaul fetches
+  // against the same window result.latency uses.
+  iolsim::SimTime count_start = 0;
+
   // Host-side performance of the run (not simulated quantities): wall-clock
   // time spent inside Run and events dispatched by the engine. JsonReporter
   // emits these on every bench row so BENCH_*.json files carry a wall-clock

@@ -1,0 +1,53 @@
+// ProxyTier: the two-tier composition of the experiment API.
+//
+// Wires a ProxyServer (src/proxy) in front of an origin Fleet and runs the
+// standard Workload x Fleet x Telemetry engine against the proxy: clients
+// talk to the proxy over the front link, proxy misses cross the configured
+// backhaul to the fleet, and the returned ExperimentResult carries the
+// per-tier fields (proxy_hit_rate, origin_hit_rate, backhaul_bytes,
+// bytes_copied_backhaul, origin_latency) next to the usual throughput and
+// latency summaries. The origin Fleet's balancer picks the member each
+// backhaul fetch goes to, so balancing policies compose with the tier
+// exactly as they do with a flat fleet.
+
+#ifndef SRC_DRIVER_PROXY_TIER_H_
+#define SRC_DRIVER_PROXY_TIER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/driver/experiment.h"
+#include "src/driver/fleet.h"
+#include "src/proxy/proxy_server.h"
+
+namespace ioldrv {
+
+class ProxyTier {
+ public:
+  // `origins` is the fleet behind the proxy (its balancer routes backhaul
+  // fetches); `pconfig` shapes the proxy tier, `config` the client
+  // population. The System pieces must outlive the tier.
+  ProxyTier(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+            iolfs::FileIoService* io, iolite::IoLiteRuntime* runtime, Fleet origins,
+            iolproxy::ProxyConfig pconfig, ExperimentConfig config);
+
+  // Runs `workload` against the proxy tier (one run per instance, like
+  // Experiment). The result's proxy fields are filled from the run's
+  // per-tier counters.
+  ExperimentResult Run(Workload* workload, Experiment::RequestSource next_file,
+                       Telemetry* sink = nullptr);
+
+  iolproxy::ProxyServer& proxy() { return *proxy_; }
+  const Fleet& origins() const { return origins_; }
+
+ private:
+  iolsim::SimContext* ctx_;
+  Fleet origins_;
+  std::unique_ptr<iolproxy::ProxyServer> proxy_;
+  Experiment experiment_;
+};
+
+}  // namespace ioldrv
+
+#endif  // SRC_DRIVER_PROXY_TIER_H_

@@ -15,7 +15,7 @@ void FileCache::SetPolicy(std::unique_ptr<ReplacementPolicy> policy) {
 std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset, size_t length) {
   auto fit = by_file_.find(file);
   if (fit == by_file_.end()) {
-    ctx_->stats().cache_misses++;
+    (*misses_)++;
     return std::nullopt;
   }
   const std::map<uint64_t, EntryId>& runs = fit->second;
@@ -24,7 +24,7 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
   // requested range is covered or a gap appears.
   auto it = runs.upper_bound(offset);
   if (it == runs.begin()) {
-    ctx_->stats().cache_misses++;
+    (*misses_)++;
     return std::nullopt;
   }
   --it;
@@ -36,13 +36,13 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
   uint64_t covered_to = offset;
   while (covered_to < want_end) {
     if (it == runs.end() || it->first > covered_to) {
-      ctx_->stats().cache_misses++;
+      (*misses_)++;
       return std::nullopt;  // Gap.
     }
     const Entry& entry = entries_.at(it->second);
     uint64_t run_end = entry.offset + entry.data.size();
     if (run_end <= covered_to) {
-      ctx_->stats().cache_misses++;
+      (*misses_)++;
       return std::nullopt;  // Run ends before reaching our position.
     }
     covered_to = run_end;
@@ -62,7 +62,7 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
     policy_->OnAccess(it->second);
   }
   assert(out.size() == length);
-  ctx_->stats().cache_hits++;
+  (*hits_)++;
   return out;
 }
 
@@ -155,7 +155,7 @@ bool FileCache::EvictOne() {
     return false;
   }
   EraseEntry(victim);
-  ctx_->stats().cache_evictions++;
+  (*evictions_)++;
   return true;
 }
 

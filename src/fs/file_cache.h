@@ -39,7 +39,10 @@ namespace iolfs {
 class FileCache : public CacheView {
  public:
   FileCache(iolsim::SimContext* ctx, std::unique_ptr<ReplacementPolicy> policy)
-      : ctx_(ctx), policy_(std::move(policy)) {}
+      : policy_(std::move(policy)),
+        hits_(&ctx->stats().cache_hits),
+        misses_(&ctx->stats().cache_misses),
+        evictions_(&ctx->stats().cache_evictions) {}
 
   FileCache(const FileCache&) = delete;
   FileCache& operator=(const FileCache&) = delete;
@@ -48,6 +51,18 @@ class FileCache : public CacheView {
   // entries are re-registered with the new policy in recency order.
   void SetPolicy(std::unique_ptr<ReplacementPolicy> policy);
   ReplacementPolicy& policy() { return *policy_; }
+
+  // Cache-tier hook: points this cache's hit/miss/eviction accounting at
+  // different SimStats counters. By default every FileCache counts into the
+  // machine-wide cache_* fields; a second cache tier (the proxy cache of
+  // src/proxy) routes its counters to the proxy_cache_* fields so per-tier
+  // hit rates stay separable. Pointers must outlive the cache (SimStats
+  // does: it lives in the SimContext).
+  void RouteStats(uint64_t* hits, uint64_t* misses, uint64_t* evictions) {
+    hits_ = hits;
+    misses_ = misses;
+    evictions_ = evictions;
+  }
 
   // Returns an aggregate covering [offset, offset+length) if the range is
   // fully cached (possibly assembled from several adjacent entries).
@@ -85,8 +100,11 @@ class FileCache : public CacheView {
 
   void EraseEntry(EntryId id);
 
-  iolsim::SimContext* ctx_;
   std::unique_ptr<ReplacementPolicy> policy_;
+  // Tier-routable accounting (see RouteStats).
+  uint64_t* hits_;
+  uint64_t* misses_;
+  uint64_t* evictions_;
   std::unordered_map<EntryId, Entry> entries_;
   // Per file: offset -> entry id, entries non-overlapping.
   std::unordered_map<FileId, std::map<uint64_t, EntryId>> by_file_;

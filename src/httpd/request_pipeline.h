@@ -56,32 +56,53 @@ struct RequestContext {
   iolsim::InlineFunction<void(RequestContext*)> on_done;
 };
 
-// Pushes a measured stage demand through the machine's FIFO resources —
-// disk first if the stage did disk work (e.g. metadata I/O), then the CPU —
-// and resumes `next` at the completion event. A stage with zero demand
-// still hands control back through the event queue, preserving
-// deterministic stage ordering.
-inline void DispatchStageDemand(iolsim::SimContext* ctx, const iolsim::Tally& tally,
-                                iolsim::InlineCallback next) {
+// Pushes a measured stage demand through explicit FIFO resources — `disk`
+// first if the stage did disk work (e.g. metadata I/O), then `cpu` — and
+// resumes `next` at the completion event. A stage with zero demand still
+// hands control back through the event queue, preserving deterministic
+// stage ordering. `disk` may be null for stages that structurally cannot do
+// disk work (e.g. the proxy tier's front-cache stages, whose machine has no
+// disk in the model); such a stage asserting disk demand is a bug.
+inline void DispatchStageDemandOn(iolsim::SimContext* ctx, iolsim::Resource* cpu,
+                                  iolsim::Resource* disk, const iolsim::Tally& tally,
+                                  iolsim::InlineCallback next) {
   if (tally.disk > 0) {
-    ctx->chain().AcquireThenAsync(&ctx->disk(), tally.disk, &ctx->cpu(), tally.cpu,
-                                  std::move(next));
+    assert(disk != nullptr && "stage charged disk time on a diskless pipeline");
+    ctx->chain().AcquireThenAsync(disk, tally.disk, cpu, tally.cpu, std::move(next));
   } else {
-    ctx->cpu().AcquireAsync(&ctx->events(), tally.cpu, std::move(next));
+    cpu->AcquireAsync(&ctx->events(), tally.cpu, std::move(next));
   }
 }
 
+// Pushes a measured stage demand through the machine's own resources
+// (SimContext::cpu()/disk()).
+inline void DispatchStageDemand(iolsim::SimContext* ctx, const iolsim::Tally& tally,
+                                iolsim::InlineCallback next) {
+  DispatchStageDemandOn(ctx, &ctx->cpu(), &ctx->disk(), tally, std::move(next));
+}
+
 // Runs `body` immediately under a micro-tally, then dispatches the measured
-// demand (see DispatchStageDemand).
+// demand onto explicit resources (see DispatchStageDemandOn). This is the
+// stage primitive for pipelines that do not run on the machine's own
+// CPU/disk — the proxy tier schedules its stages on the proxy machine's CPU
+// this way while reusing the same tally mechanics as the origin servers.
 template <typename Body>
-void RunCpuStage(iolsim::SimContext* ctx, Body&& body, iolsim::InlineCallback next) {
+void RunStageOn(iolsim::SimContext* ctx, iolsim::Resource* cpu, iolsim::Resource* disk,
+                Body&& body, iolsim::InlineCallback next) {
   assert(!ctx->tally_active() && "stages do not nest");
   iolsim::Tally tally;
   {
     iolsim::TallyScope scope(ctx, &tally);
     body();
   }
-  DispatchStageDemand(ctx, tally, std::move(next));
+  DispatchStageDemandOn(ctx, cpu, disk, tally, std::move(next));
+}
+
+// Runs `body` immediately under a micro-tally, then dispatches the measured
+// demand onto the machine's own resources (see DispatchStageDemand).
+template <typename Body>
+void RunCpuStage(iolsim::SimContext* ctx, Body&& body, iolsim::InlineCallback next) {
+  RunStageOn(ctx, &ctx->cpu(), &ctx->disk(), std::forward<Body>(body), std::move(next));
 }
 
 }  // namespace iolhttp

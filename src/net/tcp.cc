@@ -144,13 +144,15 @@ void TcpConnection::TransmitAsync(size_t n, iolsim::InlineCallback done) {
     // Header-only/empty response: one ACK-sized segment still occupies the
     // link for a negligible-but-ordered slot.
     iolsim::SimContext* ctx = net_->ctx_;
-    ctx->link().AcquireAsync(&ctx->events(), 0, std::move(done));
+    iolsim::Resource* link = link_ != nullptr ? link_->link : &ctx->link();
+    link->AcquireAsync(&ctx->events(), 0, std::move(done));
     return;
   }
-  net_->TransmitSegment(net_->AcquireTransmit(n, std::move(done)));
+  net_->TransmitSegment(net_->AcquireTransmit(n, link_, std::move(done)));
 }
 
-uint32_t NetworkSubsystem::AcquireTransmit(size_t remaining, iolsim::InlineCallback done) {
+uint32_t NetworkSubsystem::AcquireTransmit(size_t remaining, const LinkSpec* link,
+                                           iolsim::InlineCallback done) {
   uint32_t idx;
   if (free_transmit_ != UINT32_MAX) {
     idx = free_transmit_;
@@ -160,6 +162,7 @@ uint32_t NetworkSubsystem::AcquireTransmit(size_t remaining, iolsim::InlineCallb
     transmits_.emplace_back();
   }
   transmits_[idx].remaining = remaining;
+  transmits_[idx].link = link;
   transmits_[idx].done = std::move(done);
   return idx;
 }
@@ -173,8 +176,19 @@ void NetworkSubsystem::TransmitSegment(uint32_t idx) {
   size_t mtu = static_cast<size_t>(ctx_->cost().params().mtu_bytes);
   size_t seg = remaining < mtu ? remaining : mtu;
   transmits_[idx].remaining = remaining - seg;
-  iolsim::SimTime wire = seg == mtu ? mss_wire_time_ : ctx_->cost().WireTime(seg);
-  ctx_->link().AcquireAsync(&ctx_->events(), wire, [this, idx] {
+  const LinkSpec* spec = transmits_[idx].link;
+  iolsim::Resource* link;
+  iolsim::SimTime wire;
+  if (spec == nullptr) {
+    link = &ctx_->link();
+    wire = seg == mtu ? mss_wire_time_ : ctx_->cost().WireTime(seg);
+  } else {
+    link = spec->link;
+    // An unprimed spec (mss_wire_time == 0) falls back to the computation.
+    wire = seg == mtu && spec->mss_wire_time > 0 ? spec->mss_wire_time
+                                                 : spec->WireTime(seg);
+  }
+  link->AcquireAsync(&ctx_->events(), wire, [this, idx] {
     TransmitState& t = transmits_[idx];
     if (t.remaining == 0) {
       iolsim::InlineCallback done = std::move(t.done);

@@ -19,6 +19,7 @@
 #ifndef SRC_NET_TCP_H_
 #define SRC_NET_TCP_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -31,6 +32,36 @@
 #include "src/simos/sim_context.h"
 
 namespace iolnet {
+
+// An alternate wire a connection transmits on, instead of the machine's
+// shared front link (SimContext::link()). The proxy tier uses this for its
+// backhaul: origin responses to the proxy occupy the backhaul resource at
+// the backhaul's payload rate, per MSS segment, while client-facing
+// responses keep contending for the front link. The spec must outlive every
+// connection pointing at it.
+struct LinkSpec {
+  iolsim::Resource* link = nullptr;
+  double bytes_per_sec = 0;  // Effective payload rate of this wire.
+  // WireTime(MSS), cached by the owner (see Prime): every non-final
+  // segment costs exactly this, so the per-segment hot path skips the FP
+  // division — mirroring NetworkSubsystem::mss_wire_time_ for the default
+  // link.
+  iolsim::SimTime mss_wire_time = 0;
+
+  iolsim::SimTime WireTime(uint64_t n) const {
+    if (n == 0) {
+      return 0;
+    }
+    // A zero rate would cast inf to SimTime (UB) and corrupt the clock;
+    // catch the unconfigured spec at the source.
+    assert(bytes_per_sec > 0 && "LinkSpec used before its rate was set");
+    return static_cast<iolsim::SimTime>(static_cast<double>(n) / bytes_per_sec *
+                                        iolsim::kSecond);
+  }
+
+  // Precomputes the cached per-MSS wire time; call after setting the rate.
+  void Prime(int mtu_bytes) { mss_wire_time = WireTime(static_cast<uint64_t>(mtu_bytes)); }
+};
 
 // Shared state of the simulated network stack.
 class NetworkSubsystem {
@@ -67,11 +98,14 @@ class NetworkSubsystem {
   // closure chain (one heap allocation per segment, pre-pool).
   struct TransmitState {
     size_t remaining = 0;
+    // Null for the machine's front link; a connection's LinkSpec otherwise.
+    const LinkSpec* link = nullptr;
     iolsim::InlineCallback done;
     uint32_t next_free = UINT32_MAX;
   };
 
-  uint32_t AcquireTransmit(size_t remaining, iolsim::InlineCallback done);
+  uint32_t AcquireTransmit(size_t remaining, const LinkSpec* link,
+                           iolsim::InlineCallback done);
   // Stages the next MSS-sized segment of `idx` onto the shared link.
   void TransmitSegment(uint32_t idx);
 
@@ -125,6 +159,11 @@ class TcpConnection {
   // generation-keyed cache, per-packet processing. Returns bytes queued.
   size_t SendAggregate(const iolite::Aggregate& agg);
 
+  // Routes this connection's transmissions over `spec` instead of the
+  // machine's front link (null restores the default). The spec must outlive
+  // the connection's last transmission.
+  void set_link(const LinkSpec* spec) { link_ = spec; }
+
   // Stages `n` queued payload bytes onto the shared link as MSS-sized
   // segments. Each segment is a separate acquisition of the link resource,
   // reserved from the previous segment's completion event, so concurrent
@@ -146,6 +185,7 @@ class TcpConnection {
 
   NetworkSubsystem* net_;
   bool iolite_sockets_;
+  const LinkSpec* link_ = nullptr;  // Null: the machine's front link.
   bool connected_ = false;
   uint64_t bytes_sent_ = 0;
   // Scratch kernel send buffer for the copy path (reused across sends).

@@ -1,0 +1,226 @@
+// The proxy-cache tier: a second caching tier in front of the origin fleet.
+//
+// IO-Lite's claim is that one unified buffering/caching system eliminates
+// redundant copying *and redundant caching* across cooperating programs
+// (Sections 1 and 3.5). A proxy cache is the canonical multi-application
+// case: a copy-based proxy double-buffers every object it relays (one copy
+// off the backhaul socket into its private cache, one copy per hit into the
+// client socket) and caches each object a second time; an IO-Lite proxy
+// serves hits by reference, and — co-located with the origin — shares the
+// machine's unified cache over the IOL-IPC descriptor path, so an object is
+// cached once machine-wide and forwarded without its payload being touched.
+//
+// ProxyServer is an HttpServer running on the same staged event engine as
+// the origin servers: clients arrive over the machine's front link, the
+// proxy runs on its own CPU Resource (its own machine) unless co-located,
+// hits are served from the proxy cache, and misses are forwarded to the
+// origin fleet over a configurable backhaul:
+//
+//  * kRemote — a separate proxy machine. Misses become real HTTP
+//    transactions against an origin fleet member over a persistent backhaul
+//    connection whose per-MSS transmissions occupy a dedicated backhaul
+//    Resource (see iolnet::LinkSpec). The arriving object lands in the
+//    proxy's own FileCache: a copy-based proxy memcpys it off the socket
+//    (and its cache duplicates the origin's); an IO-Lite proxy only mutates
+//    cache metadata — the receive buffers are appended by reference.
+//  * kColocated — proxy and origin share one machine (one CPU resource).
+//    The copy-based pair still runs two private caches and crosses a local
+//    socket at bus speed, double-caching on one machine; the IO-Lite pair
+//    shares the unified cache and forwards misses over the IOL-IPC
+//    descriptor path (32-byte SliceDescs, accounted in the ipc_* stats):
+//    zero payload bytes copied, zero duplicate cache entries — asserted on
+//    the warm path by tests/proxy_test.cc.
+//
+// Per-tier accounting: the proxy cache's hit/miss/eviction counters are
+// routed to SimStats::proxy_cache_* (see FileCache::RouteStats); the
+// machine's cache_* counters keep describing the origin tier. Backhaul
+// payload volume and the subset of it memcpy'd at the proxy land in
+// SimStats::backhaul_bytes / backhaul_bytes_copied.
+
+#ifndef SRC_PROXY_PROXY_SERVER_H_
+#define SRC_PROXY_PROXY_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/fs/file_cache.h"
+#include "src/httpd/http_server.h"
+#include "src/iolite/runtime.h"
+#include "src/net/tcp.h"
+#include "src/simos/sim_context.h"
+
+namespace iolproxy {
+
+// Where the origin fleet sits relative to the proxy.
+enum class BackhaulMode {
+  kRemote,     // Separate machines joined by a backhaul wire.
+  kColocated,  // One machine: local socket (copy) or IOL-IPC (IO-Lite).
+};
+
+// The proxy's data path, mirroring the server families of Section 5.
+enum class ProxyDataPath {
+  kCopy,    // read()/writev() relay: copy in, private cache, copy out.
+  kIoLite,  // IOL_read/IOL_write: by-reference cache, cached checksums.
+};
+
+// Replacement policy of the proxy's own cache (own-cache configurations).
+enum class ProxyCachePolicy {
+  kLru,
+  kGds,
+};
+
+struct ProxyConfig {
+  ProxyDataPath data_path = ProxyDataPath::kIoLite;
+  BackhaulMode backhaul = BackhaulMode::kRemote;
+  ProxyCachePolicy policy = ProxyCachePolicy::kGds;
+
+  // Byte budget of the proxy-tier cache, enforced after each fetch. In the
+  // shared-cache configuration (kColocated + kIoLite) this bounds the
+  // machine's unified cache — the same RAM the two private caches of the
+  // copy-based pair split between them.
+  uint64_t cache_bytes = 32ull * 1024 * 1024;
+  // Optional budget for the origin's unified cache in own-cache
+  // configurations (0 = unbounded).
+  uint64_t origin_cache_bytes = 0;
+
+  // Remote backhaul wire: effective payload rate and one-way propagation.
+  // Default: one Fast Ethernet at the front link's efficiency — the
+  // origin-side pipe every miss must cross.
+  double backhaul_bytes_per_sec = 100.0e6 / 8.0 * 0.72;
+  iolsim::SimTime backhaul_one_way_delay = 500 * iolsim::kMicrosecond;
+  // Co-located copy-based forwarding crosses a local socket at bus speed.
+  double loopback_bytes_per_sec = 400.0e6;
+
+  // The proxy machine's CPU (own-cache modes; co-located proxies share the
+  // origin machine's CPU resource).
+  int proxy_cpu_count = 1;
+  // Per-request proxy application work (event loop, parse, routing).
+  iolsim::SimTime proxy_request_cpu = 50 * iolsim::kMicrosecond;
+  // Origin-side service loop for one IOL-IPC fetch (descriptor pop, unified
+  // cache read, descriptor push) beyond the charged syscalls.
+  iolsim::SimTime origin_ipc_request_cpu = 50 * iolsim::kMicrosecond;
+};
+
+// One backhaul fetch, as observed by the proxy (per-tier latency).
+struct FetchRecord {
+  iolsim::SimTime issue = 0;     // Proxy missed and decided to forward.
+  iolsim::SimTime admit = 0;     // Origin began serving the fetch.
+  iolsim::SimTime complete = 0;  // Object resident at the proxy tier.
+  size_t bytes = 0;
+  size_t origin = 0;  // Fleet member that served it.
+  bool origin_hit = false;
+};
+
+class ProxyServer : public iolhttp::HttpServer {
+ public:
+  // `origins` (non-owning, non-empty) is the fleet behind the proxy;
+  // `runtime` hosts the proxy's pools and domain. A custom `pick_origin`
+  // (e.g. a driver LoadBalancer) may replace the default least-outstanding
+  // pick; it receives the per-origin in-flight counts.
+  ProxyServer(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+              iolfs::FileIoService* io, iolite::IoLiteRuntime* runtime,
+              std::vector<iolhttp::HttpServer*> origins, ProxyConfig config);
+  ~ProxyServer() override;
+
+  const char* name() const override;
+  bool uses_iolite_sockets() const override {
+    return config_.data_path == ProxyDataPath::kIoLite;
+  }
+  void StartRequest(iolhttp::RequestContext* req) override;
+
+  // Replaces the origin pick (load[i] = in-flight fetches at member i).
+  void set_pick_origin(std::function<size_t(const std::vector<int>&)> pick) {
+    pick_origin_ = std::move(pick);
+  }
+
+  // The cache the proxy tier serves hits from: the machine's unified cache
+  // when co-located IO-Lite, the proxy's own cache otherwise.
+  iolfs::FileCache& proxy_cache() { return *cache_; }
+  bool shares_unified_cache() const { return shared_cache_; }
+
+  // --- Per-tier accounting ---------------------------------------------------
+  uint64_t origin_fetches() const { return origin_hits_ + origin_misses_; }
+  uint64_t origin_hits() const { return origin_hits_; }
+  uint64_t origin_misses() const { return origin_misses_; }
+  const std::vector<uint64_t>& origin_requests() const { return origin_requests_; }
+  const std::vector<FetchRecord>& fetches() const { return fetch_records_; }
+
+ private:
+  // Pooled per-request state: the body aggregate between stages, plus the
+  // backhaul fetch context on a miss. Steady-state turnover allocates
+  // nothing once the pool has grown to the concurrency high-water mark.
+  struct TaskNode {
+    iolhttp::RequestContext* req = nullptr;
+    iolite::Aggregate body;
+    iolhttp::RequestContext bh_req;  // Remote-mode origin transaction.
+    size_t origin = 0;
+    bool is_fetch = false;
+    bool origin_hit = false;
+    iolsim::SimTime fetch_issue = 0;
+    iolsim::SimTime fetch_admit = 0;
+    uint32_t next_free = UINT32_MAX;
+  };
+
+  // The CPU the proxy's stages run on: its own machine's, or the shared
+  // machine's when co-located.
+  iolsim::Resource* proxy_cpu() {
+    return config_.backhaul == BackhaulMode::kColocated ? &ctx_->cpu() : &own_cpu_;
+  }
+
+  uint32_t AcquireNode(iolhttp::RequestContext* req);
+  void ReleaseNode(uint32_t idx);
+  size_t PickOrigin();
+
+  void LookupStage(iolhttp::RequestContext* req);
+  // Miss paths.
+  void ForwardRemote(uint32_t idx);      // kRemote, and kColocated + kCopy.
+  void StartOriginFetch(uint32_t idx);
+  void OnFetchDone(uint32_t idx);
+  void ReceiveStage(uint32_t idx);       // Object arrives; insert into cache.
+  void ForwardIpc(uint32_t idx);         // kColocated + kIoLite.
+  void OriginIpcServe(uint32_t idx);
+  void OnOriginRead(uint32_t idx, bool was_miss);
+  // Shared tail: serve node's body to the client over the front link.
+  void ServeBody(uint32_t idx);
+  void FinishServe(uint32_t idx);
+
+  iolite::IoLiteRuntime* runtime_;
+  std::vector<iolhttp::HttpServer*> origins_;
+  ProxyConfig config_;
+  bool shared_cache_;
+
+  iolsim::Resource own_cpu_;
+  iolsim::Resource backhaul_link_;
+  iolnet::LinkSpec backhaul_spec_;
+
+  iolsim::DomainId domain_;
+  iolite::BufferPool* header_pool_;
+  iolite::BufferPool* object_pool_;  // Fetched objects (own-cache modes).
+  std::unique_ptr<iolfs::FileCache> own_cache_;
+  iolfs::FileCache* cache_;  // own_cache_ or the machine's unified cache.
+
+  // One persistent backhaul connection per origin member (remote and
+  // co-located copy modes; the IPC path has no socket).
+  std::vector<std::unique_ptr<iolnet::TcpConnection>> backhaul_conns_;
+
+  std::function<size_t(const std::vector<int>&)> pick_origin_;
+  std::vector<int> in_flight_;
+  std::vector<uint64_t> origin_requests_;
+  size_t last_origin_ = 0;
+
+  uint64_t origin_hits_ = 0;
+  uint64_t origin_misses_ = 0;
+  std::vector<FetchRecord> fetch_records_;
+
+  // Deque: origin pipelines hold &bh_req across their stage suspensions, so
+  // node addresses must survive pool growth.
+  std::deque<TaskNode> nodes_;
+  uint32_t free_node_ = UINT32_MAX;
+};
+
+}  // namespace iolproxy
+
+#endif  // SRC_PROXY_PROXY_SERVER_H_

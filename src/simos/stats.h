@@ -54,6 +54,20 @@ struct SimStats {
   // events_per_sec; simulated results must not depend on it.
   uint64_t events_dispatched = 0;
 
+  // Proxy-cache tier (src/proxy). The front cache's own hit/miss/eviction
+  // counters are kept apart from the machine's unified-cache counters
+  // (cache_hits/cache_misses above) so per-tier hit rates stay separable:
+  // in a proxy experiment the unified-cache counters describe the origin
+  // tier, these describe the proxy tier.
+  uint64_t proxy_cache_hits = 0;
+  uint64_t proxy_cache_misses = 0;
+  uint64_t proxy_cache_evictions = 0;
+  // Payload fetched from the origin tier over the backhaul, and the subset
+  // of it that a copy-based proxy memcpy'd into its private cache on
+  // arrival. A warm co-located IO-Lite proxy must leave both untouched.
+  uint64_t backhaul_bytes = 0;
+  uint64_t backhaul_bytes_copied = 0;
+
   // Shared-memory IPC (src/ipc): the real-transport descriptor rings.
   // `ipc_bytes_transferred` counts payload moved purely by reference (never
   // touched by the transport); `ipc_bytes_copied` counts payload that had to
