@@ -35,6 +35,8 @@ for bin in "$build_dir"/bench_fig* "$build_dir"/bench_sweep_* "$build_dir"/bench
   case "$name" in
     bench_fig[0-9]*)
       short=$(echo "$name" | sed 's/^bench_\(fig[0-9][0-9]*\).*/\1/') ;;
+    bench_fig_ipc_plane)
+      short="ipc_plane" ;;
     *)
       short=${name#bench_} ;;
   esac
@@ -91,4 +93,30 @@ if [ -f "$f" ]; then
     exit 1
   fi
   echo "== schema check ok: $f per-tier fields present, IO-Lite rows copy-free"
+fi
+
+# Data-plane schema check: every row must carry the cross-process copy
+# counter and byte-identity verdict; the zero-copy process rows must report
+# 0 copied bytes and the copy-mode contrast rows must not.
+f="$out_dir/BENCH_ipc_plane.json"
+if [ -f "$f" ]; then
+  for field in bytes_copied_cross_process byte_identical checksum wall_ms; do
+    if ! grep -q "\"$field\": " "$f"; then
+      echo "schema check failed: no $field fields in $f" >&2
+      exit 1
+    fi
+  done
+  if grep -q '"byte_identical": false' "$f"; then
+    echo "schema check failed: a plane row was not byte-identical in $f" >&2
+    exit 1
+  fi
+  if grep '"series": "plane-processes"' "$f" | grep -qv '"bytes_copied_cross_process": 0[,}]'; then
+    echo "schema check failed: the zero-copy plane copied payload bytes in $f" >&2
+    exit 1
+  fi
+  if grep '"series": "plane-processes-copy"' "$f" | grep -q '"bytes_copied_cross_process": 0[,}]'; then
+    echo "schema check failed: the copy-mode contrast row copied nothing in $f" >&2
+    exit 1
+  fi
+  echo "== schema check ok: $f plane rows identical, zero-copy rows copy-free"
 fi

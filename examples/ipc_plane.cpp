@@ -1,0 +1,99 @@
+// The multi-process data plane, end to end.
+//
+// Runs the same proxy + origin + CGI worker roles three ways — as a
+// deterministic in-process pump, as threads, and as real fork()ed processes
+// sharing the unified cache through one shm region — and shows that the
+// response byte stream is identical in all three (one checksum), that the
+// warm path copies zero payload bytes across process boundaries, and what
+// the copy-per-response contrast path pays instead.
+//
+// The counters printed for the process mode are read through a *fresh*
+// attach of the region by name when POSIX shm is available — the same
+// out-of-process view scripts/shm_inspect.py gives you while (or after) the
+// plane runs.
+//
+// Run:  ./build/example_ipc_plane
+
+#include <cstdio>
+
+#include "src/driver/process_tier.h"
+
+namespace {
+
+ioldrv::ProcessTierConfig BaseConfig() {
+  ioldrv::ProcessTierConfig cfg;
+  cfg.requests = 400;
+  cfg.inflight = 8;
+  cfg.docs.doc_count = 24;
+  cfg.docs.doc_bytes = 16 * 1024;
+  cfg.cgi_every = 8;
+  cfg.cgi_body_bytes = 2048;
+  cfg.proxy_workers = 2;
+  cfg.origin_workers = 1;
+  cfg.cgi_workers = 1;
+  return cfg;
+}
+
+void Show(const char* label, const ioldrv::ProcessTierResult& r) {
+  std::printf(
+      "%-22s ok=%d responses=%llu errors=%llu hits=%llu misses=%llu "
+      "fills=%llu cgi=%llu copied_x_process=%llu B identical=%d "
+      "checksum=%016llx oop_counters=%d wall=%.1f ms\n",
+      label, r.ok ? 1 : 0, (unsigned long long)r.requests,
+      (unsigned long long)r.errors, (unsigned long long)r.cache_hits,
+      (unsigned long long)r.cache_misses, (unsigned long long)r.origin_fills,
+      (unsigned long long)r.cgi_requests,
+      (unsigned long long)r.bytes_copied_cross_process,
+      r.byte_identical ? 1 : 0, (unsigned long long)r.response_checksum,
+      r.counters_out_of_process ? 1 : 0, r.wall_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== shared-memory data plane: one worker implementation, three modes ==\n");
+
+  ioldrv::ProcessTierConfig cfg = BaseConfig();
+
+  cfg.mode = iolipc::PlaneMode::kInProcess;
+  ioldrv::ProcessTierResult sim = ioldrv::RunProcessTier(cfg);
+  Show("in-process pump", sim);
+
+  cfg.mode = iolipc::PlaneMode::kThreads;
+  ioldrv::ProcessTierResult thr = ioldrv::RunProcessTier(cfg);
+  Show("threads", thr);
+
+  cfg.mode = iolipc::PlaneMode::kProcesses;
+  ioldrv::ProcessTierResult proc = ioldrv::RunProcessTier(cfg);
+  Show("forked processes", proc);
+
+  std::printf("\nbyte-identity across modes: %s\n",
+              (sim.response_checksum == thr.response_checksum &&
+               sim.response_checksum == proc.response_checksum)
+                  ? "IDENTICAL"
+                  : "MISMATCH");
+
+  std::printf("\n== the same plane with the descriptor discipline turned off ==\n");
+  cfg.copy_data_path = true;
+  ioldrv::ProcessTierResult copy = ioldrv::RunProcessTier(cfg);
+  Show("processes + memcpy", copy);
+  std::printf(
+      "\nzero-copy plane moved %llu payload bytes across processes; the\n"
+      "copy path moved %llu — identical responses either way (checksums\n"
+      "%016llx vs %016llx).\n",
+      (unsigned long long)proc.bytes_copied_cross_process,
+      (unsigned long long)copy.bytes_copied_cross_process,
+      (unsigned long long)proc.response_checksum,
+      (unsigned long long)copy.response_checksum);
+
+  bool ok = sim.ok && thr.ok && proc.ok && copy.ok && sim.errors == 0 &&
+            thr.errors == 0 && proc.errors == 0 && copy.errors == 0 &&
+            sim.byte_identical && thr.byte_identical && proc.byte_identical &&
+            copy.byte_identical &&
+            sim.response_checksum == proc.response_checksum &&
+            sim.response_checksum == copy.response_checksum &&
+            proc.bytes_copied_cross_process == 0 &&
+            copy.bytes_copied_cross_process > 0;
+  std::printf("\n%s\n", ok ? "PLANE OK" : "PLANE BROKEN");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,311 @@
+#include "src/driver/process_tier.h"
+
+#include <sched.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <optional>
+
+#include "src/fs/sim_file_system.h"
+#include "src/httpd/response_header.h"
+#include "src/iolite/buffer_pool.h"
+#include "src/simos/sim_context.h"
+#include "src/simos/vm.h"
+
+namespace ioldrv {
+
+namespace {
+
+using iolipc::SliceDesc;
+
+double NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+uint32_t PowTwoAtLeast(uint32_t n) {
+  uint32_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Tailors slab/future capacities to the workload so no resource can
+// deadlock the plane (slots are returned only by the client, so every
+// bound must cover the inflight window plus the workers' hands).
+iolipc::PlaneConfig TailorPlane(const ProcessTierConfig& cfg) {
+  iolipc::PlaneConfig pc = cfg.plane;
+  uint32_t window = static_cast<uint32_t>(cfg.inflight);
+  uint32_t hands = static_cast<uint32_t>(cfg.proxy_workers + cfg.cgi_workers + 2);
+  pc.future_capacity = std::max(pc.future_capacity, window + hands + 4);
+  pc.header_slots = std::max(pc.header_slots, window + hands);
+  pc.cgi_slots = std::max(pc.cgi_slots, window + hands);
+  pc.copy_slots = std::max(pc.copy_slots, window + hands);
+  pc.copy_slot_bytes =
+      std::max<uint32_t>(pc.copy_slot_bytes, static_cast<uint32_t>(cfg.docs.doc_bytes));
+  pc.cgi_slot_bytes = std::max<uint32_t>(
+      pc.cgi_slot_bytes,
+      static_cast<uint32_t>(cfg.cgi_body_bytes + iolhttp::kResponseHeaderBytes + 64));
+  pc.map_capacity =
+      std::max(pc.map_capacity, PowTwoAtLeast(static_cast<uint32_t>(cfg.docs.doc_count) * 4));
+  pc.queue_capacity = std::max(pc.queue_capacity, PowTwoAtLeast(window * 4));
+  return pc;
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvFold(uint64_t h, const char* p, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(p[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+struct Pending {
+  iolipc::FutureHandle h;
+  uint64_t file_id;
+  iolipc::RequestKind kind;
+};
+
+}  // namespace
+
+ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
+  ProcessTierResult result;
+
+  // Reclaim segments leaked by crashed prior runs, then build the region.
+  std::string shm_name;
+  if (!cfg.region_name.empty()) {
+    iolipc::ShmRegion::SweepStale(cfg.region_name);
+    shm_name = "/" + cfg.region_name + "." + std::to_string(getpid());
+  }
+  iolipc::PlaneConfig pc = TailorPlane(cfg);
+  // Size the region from the workload: structures + slabs + fill payload.
+  // The region never recycles extents, so budgeted runs that re-fill after
+  // eviction get extra headroom (x4 the one-copy-per-origin footprint).
+  uint64_t structures =
+      64 * 1024 +
+      6ull * (256 + static_cast<uint64_t>(pc.queue_capacity) * 64) +
+      static_cast<uint64_t>(pc.map_capacity) * 64 +
+      static_cast<uint64_t>(pc.future_capacity) * 128;
+  uint64_t slabs = static_cast<uint64_t>(pc.header_slots) * pc.header_slot_bytes +
+                   static_cast<uint64_t>(pc.cgi_slots) * pc.cgi_slot_bytes +
+                   static_cast<uint64_t>(pc.copy_slots) * pc.copy_slot_bytes;
+  uint64_t payload = static_cast<uint64_t>(cfg.docs.doc_count) * cfg.docs.doc_bytes *
+                     static_cast<uint64_t>(cfg.origin_workers + 1) * 4;
+  size_t region_bytes =
+      std::max<size_t>(cfg.region_bytes, structures + slabs + payload + (1u << 20));
+  std::unique_ptr<iolipc::ShmRegion> region =
+      iolipc::ShmRegion::Create(region_bytes, shm_name);
+  if (region == nullptr) {
+    return result;
+  }
+  iolipc::PlaneShared s = iolipc::CreatePlane(region.get(), pc);
+  if (!s.valid()) {
+    return result;
+  }
+
+  // Independent reference system for verification: same doc population,
+  // heap-backed, never touches the plane.
+  iolsim::SimContext ref_ctx;
+  iolite::BufferPool ref_pool(&ref_ctx, "ref", iolsim::kKernelDomain);
+  iolfs::SimFileSystem ref_fs(&ref_ctx, &ref_pool);
+  {
+    char name[32];
+    for (int i = 0; i < cfg.docs.doc_count; ++i) {
+      std::snprintf(name, sizeof(name), "doc-%05d", i);
+      ref_fs.CreateFile(name, cfg.docs.doc_bytes);
+    }
+  }
+
+  const iolipc::YieldFn sched = [] { sched_yield(); };
+
+  // Launch the fleet (no-op for the in-process pump).
+  iolipc::WorkerGroup proxies;
+  iolipc::WorkerGroup origins;
+  iolipc::WorkerGroup cgis;
+  if (cfg.mode != iolipc::PlaneMode::kInProcess) {
+    bool launched =
+        proxies.Launch(cfg.mode, cfg.proxy_workers,
+                       [&] {
+                         iolproxy::ProxyWorker w(&s, cfg.copy_data_path, cfg.fill_wait_us);
+                         w.Run(sched);
+                       }) &&
+        origins.Launch(cfg.mode, cfg.origin_workers,
+                       [&] {
+                         iolproxy::OriginWorker w(&s, cfg.docs, cfg.origin_cache_budget);
+                         w.Run(sched);
+                       }) &&
+        cgis.Launch(cfg.mode, cfg.cgi_workers, [&] {
+          iolproxy::CgiWorker w(&s, cfg.cgi_body_bytes);
+          w.Run(sched);
+        });
+    if (!launched) {
+      s.client_q.Close();
+      s.origin_q.Close();
+      s.cgi_q.Close();
+      proxies.JoinAll();
+      origins.JoinAll();
+      cgis.JoinAll();
+      return result;
+    }
+  }
+
+  // In-process pump: one instance of each role, yielded into each other.
+  std::optional<iolproxy::ProxyWorker> pump_proxy;
+  std::optional<iolproxy::OriginWorker> pump_origin;
+  std::optional<iolproxy::CgiWorker> pump_cgi;
+  iolipc::YieldFn client_yield = sched;
+  if (cfg.mode == iolipc::PlaneMode::kInProcess) {
+    pump_proxy.emplace(&s, cfg.copy_data_path, cfg.fill_wait_us);
+    pump_origin.emplace(&s, cfg.docs, cfg.origin_cache_budget);
+    pump_cgi.emplace(&s, cfg.cgi_body_bytes);
+    iolipc::YieldFn pump_oc = [&] {
+      pump_origin->Step();
+      pump_cgi->Step([] {});
+    };
+    client_yield = [&, pump_oc] {
+      pump_proxy->Step(pump_oc);
+      pump_oc();
+    };
+  }
+
+  // The client: submit with a bounded window, collect in submission order.
+  std::deque<Pending> window;
+  uint64_t checksum = kFnvOffset;
+  char expect_hdr[iolhttp::kResponseHeaderBytes];
+
+  auto collect_one = [&] {
+    Pending p = window.front();
+    window.pop_front();
+    iolipc::ShmFuturePool::WaitResult r =
+        s.futures.Wait(p.h, cfg.client_wait_us, client_yield);
+    s.futures.Release(p.h);
+    if (!r.ok) {
+      ++result.errors;
+      return;
+    }
+    const SliceDesc& hd = r.value[0];
+    const SliceDesc& bd = r.value[1];
+    const char* hbytes = region->At(hd.offset);
+    const char* bbytes = region->At(bd.offset);
+    checksum = FnvFold(checksum, hbytes, hd.length);
+    checksum = FnvFold(checksum, bbytes, bd.length);
+    uint64_t expect_len = p.kind == iolipc::RequestKind::kCgi ? cfg.cgi_body_bytes
+                                                              : cfg.docs.doc_bytes;
+    if (hd.length != iolhttp::kResponseHeaderBytes || bd.length != expect_len) {
+      result.byte_identical = false;
+    } else if (cfg.verify) {
+      iolhttp::BuildResponseHeader(expect_hdr, expect_len);
+      if (std::memcmp(hbytes, expect_hdr, sizeof(expect_hdr)) != 0) {
+        result.byte_identical = false;
+      }
+      for (uint64_t j = 0; j < expect_len; ++j) {
+        uint8_t want = p.kind == iolipc::RequestKind::kCgi
+                           ? iolproxy::CgiByteAt(p.file_id, j)
+                           : ref_fs.ContentByteAt(static_cast<iolfs::FileId>(p.file_id), j);
+        if (static_cast<uint8_t>(bbytes[j]) != want) {
+          result.byte_identical = false;
+          break;
+        }
+      }
+    }
+    // Hand every resource back to the plane.
+    for (const SliceDesc* d : {&hd, &bd}) {
+      if (d->flags & iolipc::kRespHeaderSlab) {
+        iolipc::ReturnSlot(&s.header_free, *d);
+      }
+      if (d->flags & iolipc::kRespCgiSlab) {
+        iolipc::ReturnSlot(&s.cgi_free, *d);
+      }
+      if (d->flags & iolipc::kRespCopySlab) {
+        iolipc::ReturnSlot(&s.copy_free, *d);
+      }
+      if (d->flags & iolipc::kRespPinned) {
+        s.cache_map.Unpin(d->ticket);
+      }
+    }
+    ++result.requests;
+  };
+
+  double t0 = NowMs();
+  uint64_t rng = 0x853c49e6748fea9bull;  // Deterministic id stream, all modes.
+  for (int i = 0; i < cfg.requests; ++i) {
+    bool cgi = cfg.cgi_every > 0 && (i % cfg.cgi_every) == cfg.cgi_every - 1;
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    uint64_t file_id =
+        cgi ? 1000000ull + static_cast<uint64_t>(i)
+            : 1 + (rng % static_cast<uint64_t>(cfg.docs.doc_count));
+    iolipc::FutureHandle h;
+    while ((h = s.futures.Acquire()) == iolipc::kInvalidFuture) {
+      client_yield();
+    }
+    iolipc::ClientRequestMsg msg{file_id, h,
+                                 static_cast<uint32_t>(cgi ? iolipc::RequestKind::kCgi
+                                                           : iolipc::RequestKind::kStatic),
+                                 0, 0};
+    while (!s.client_q.PushAs(msg)) {
+      client_yield();
+    }
+    window.push_back(Pending{h, file_id,
+                             cgi ? iolipc::RequestKind::kCgi : iolipc::RequestKind::kStatic});
+    if (static_cast<int>(window.size()) >= cfg.inflight) {
+      collect_one();
+    }
+  }
+  while (!window.empty()) {
+    collect_one();
+  }
+  result.wall_ms = NowMs() - t0;
+
+  // Quiesce the fleet in pipeline order.
+  s.client_q.Close();
+  result.abnormal_worker_exits += proxies.JoinAll();
+  s.origin_q.Close();
+  s.cgi_q.Close();
+  result.abnormal_worker_exits += origins.JoinAll();
+  result.abnormal_worker_exits += cgis.JoinAll();
+
+  // Read the warm-path counters — through a fresh attach-by-name when the
+  // region supports it, i.e. the way an unrelated process would.
+  auto fill_counters = [&result](iolipc::ShmCounters& c) {
+    result.bytes_served = c.Get(iolipc::kBytesServed);
+    result.bytes_copied_cross_process = c.Get(iolipc::kBytesCopiedCrossProcess);
+    result.cache_hits = c.Get(iolipc::kCacheHits);
+    result.cache_misses = c.Get(iolipc::kCacheMisses);
+    result.origin_fills = c.Get(iolipc::kOriginFills);
+    result.cgi_requests = c.Get(iolipc::kCgiRequests);
+    result.future_errors = c.Get(iolipc::kFutureErrors);
+  };
+  if (region->posix_shm_backed()) {
+    std::unique_ptr<iolipc::ShmRegion> fresh = iolipc::ShmRegion::Attach(region->name());
+    if (fresh != nullptr) {
+      iolipc::PlaneShared v = iolipc::AttachPlane(fresh.get());
+      if (v.valid()) {
+        fill_counters(v.counters);
+        result.counters_out_of_process = true;
+      }
+    }
+  }
+  if (!result.counters_out_of_process) {
+    fill_counters(s.counters);
+  }
+
+  result.response_checksum = checksum;
+  double wall_s = result.wall_ms > 0 ? result.wall_ms / 1e3 : 1e-9;
+  result.requests_per_sec = static_cast<double>(result.requests) / wall_s;
+  result.mbits_per_sec = static_cast<double>(result.bytes_served) * 8.0 / 1e6 / wall_s;
+  result.ok = result.abnormal_worker_exits == 0;
+  return result;
+}
+
+}  // namespace ioldrv

@@ -1,0 +1,110 @@
+// ProcessTier: the driver that composes the shared-memory data plane into a
+// runnable proxy + origin + CGI deployment, measures it, and *proves* its
+// claims.
+//
+// One RunProcessTier call builds a plane in a shared region, runs the same
+// worker roles in one of three modes — deterministic in-process pump, one
+// thread per worker, or one fork()ed process per worker — plays a
+// deterministic request mix against it, and verifies every response against
+// an independent reference system (content is a pure function of file id, so
+// the reference never touches the plane). Because the request sequence and
+// the content are deterministic, the response byte stream — folded into
+// `response_checksum` in submission order — must be identical across all
+// three modes; that is the cross-mode byte-identity check.
+//
+// The second claim, "zero cross-process payload copies on the warm path",
+// is asserted from *outside*: after the workers have exited, the driver
+// re-attaches the region by name as a fresh mapping (when POSIX-shm backed)
+// and reads kBytesCopiedCrossProcess through the ShmTable, the same way
+// scripts/shm_inspect.py does.
+
+#ifndef SRC_DRIVER_PROCESS_TIER_H_
+#define SRC_DRIVER_PROCESS_TIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ipc/process_plane.h"
+#include "src/proxy/plane_proxy.h"
+
+namespace ioldrv {
+
+struct ProcessTierConfig {
+  iolipc::PlaneMode mode = iolipc::PlaneMode::kInProcess;
+
+  // Region backing. A non-empty name requests POSIX shm ("<name>.<pid>" is
+  // the actual segment, enabling out-of-process verification and
+  // shm_inspect.py); empty, or shm-less environments, fall back to an
+  // anonymous fork-shared mapping.
+  std::string region_name = "iolite-plane";
+  size_t region_bytes = 32u << 20;
+
+  // Workload: `requests` total, at most `inflight` outstanding, file ids
+  // drawn deterministically from the doc set; every `cgi_every`-th request
+  // is dynamic (0 disables CGI traffic).
+  int requests = 256;
+  int inflight = 8;
+  iolproxy::PlaneDocSet docs;
+  int cgi_every = 8;
+  uint64_t cgi_body_bytes = 1024;
+
+  // Fleet shape.
+  int proxy_workers = 2;
+  int origin_workers = 1;
+  int cgi_workers = 1;
+
+  // Data-path variant: false = descriptor discipline (zero payload copies),
+  // true = memcpy-per-response contrast path.
+  bool copy_data_path = false;
+
+  // Origin replica cache budget in bytes (0 = unlimited).
+  uint64_t origin_cache_budget = 0;
+
+  // Verify every response byte against the reference system. Off for pure
+  // timing runs; the checksum is computed either way.
+  bool verify = true;
+
+  uint64_t fill_wait_us = 2'000'000;    // Proxy waiting on an origin fill.
+  uint64_t client_wait_us = 5'000'000;  // Client waiting on a response.
+
+  iolipc::PlaneConfig plane;
+};
+
+struct ProcessTierResult {
+  bool ok = false;  // Plane built and every worker joined cleanly.
+
+  uint64_t requests = 0;  // Responses collected successfully.
+  uint64_t errors = 0;    // Futures that resolved with an error.
+  uint64_t bytes_served = 0;
+  double wall_ms = 0;
+  double requests_per_sec = 0;
+  double mbits_per_sec = 0;
+
+  // Plane counters (read back after quiesce; see counters_out_of_process).
+  uint64_t bytes_copied_cross_process = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t origin_fills = 0;
+  uint64_t cgi_requests = 0;
+  uint64_t future_errors = 0;
+
+  // True when the counters above were read through a *fresh* attach of the
+  // region by name (possible only when POSIX-shm backed).
+  bool counters_out_of_process = false;
+
+  // True when every verified response matched the reference byte for byte
+  // (true trivially when config.verify is off and no response mismatched a
+  // length check).
+  bool byte_identical = true;
+
+  // Fold of all response bytes in submission order; equal across modes.
+  uint64_t response_checksum = 0;
+
+  int abnormal_worker_exits = 0;
+};
+
+ProcessTierResult RunProcessTier(const ProcessTierConfig& config);
+
+}  // namespace ioldrv
+
+#endif  // SRC_DRIVER_PROCESS_TIER_H_

@@ -119,6 +119,9 @@ void FileCache::Insert(FileId file, uint64_t offset, iolite::Aggregate data) {
     entries_.emplace(id, Entry{file, off, std::move(agg)});
     by_file_[file][off] = id;
     policy_->OnInsert(id, sz);
+    if (mirror_ != nullptr) {
+      mirror_->OnInsert(file, off, entries_.at(id).data);
+    }
   };
 
   for (Remainder& r : remainders) {
@@ -182,6 +185,9 @@ size_t FileCache::SizeOf(EntryId id) const {
 void FileCache::EraseEntry(EntryId id) {
   auto it = entries_.find(id);
   assert(it != entries_.end());
+  if (mirror_ != nullptr) {
+    mirror_->OnErase(it->second.file, it->second.offset, it->second.data.size());
+  }
   bytes_ -= it->second.data.size();
   for (const iolite::Slice& s : it->second.data.slices()) {
     auto rit = cache_refs_.find(s.buffer().get());

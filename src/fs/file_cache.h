@@ -36,6 +36,19 @@
 
 namespace iolfs {
 
+// Observer of cache membership changes. The multi-process data plane
+// (src/ipc/shm_cache_mirror.h) implements this to project each entry's
+// metadata into a shared-memory ShmMap, so *other processes* can find
+// cached payload by (offset, len) without asking this process. The mirror
+// sees every mutation path: Insert (including remainder re-inserts),
+// InvalidateFile, and evictions.
+class CacheMirror {
+ public:
+  virtual ~CacheMirror() = default;
+  virtual void OnInsert(FileId file, uint64_t offset, const iolite::Aggregate& data) = 0;
+  virtual void OnErase(FileId file, uint64_t offset, size_t length) = 0;
+};
+
 class FileCache : public CacheView {
  public:
   FileCache(iolsim::SimContext* ctx, std::unique_ptr<ReplacementPolicy> policy)
@@ -63,6 +76,11 @@ class FileCache : public CacheView {
     misses_ = misses;
     evictions_ = evictions;
   }
+
+  // Attaches a membership observer (null detaches). The mirror must outlive
+  // the cache or be detached first; it is invoked synchronously under every
+  // entry create/erase.
+  void set_mirror(CacheMirror* mirror) { mirror_ = mirror; }
 
   // Returns an aggregate covering [offset, offset+length) if the range is
   // fully cached (possibly assembled from several adjacent entries).
@@ -101,6 +119,7 @@ class FileCache : public CacheView {
   void EraseEntry(EntryId id);
 
   std::unique_ptr<ReplacementPolicy> policy_;
+  CacheMirror* mirror_ = nullptr;
   // Tier-routable accounting (see RouteStats).
   uint64_t* hits_;
   uint64_t* misses_;

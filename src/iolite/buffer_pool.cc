@@ -7,7 +7,7 @@
 
 namespace iolite {
 
-uint64_t BufferPool::next_pool_seed_ = 1;
+std::atomic<uint64_t> BufferPool::next_pool_seed_{1};
 
 void Buffer::Seal(size_t filled) {
   assert(!sealed_ && "double seal");
@@ -29,8 +29,7 @@ const std::vector<iolsim::ChunkId>& Buffer::chunks() const { return pool_->Chunk
 BufferPool::BufferPool(iolsim::SimContext* ctx, std::string name, iolsim::DomainId producer,
                        ExtentSource* extent_source)
     : ctx_(ctx), name_(std::move(name)), producer_(producer), extent_source_(extent_source) {
-  next_buffer_id_ = next_pool_seed_ << 32;
-  next_pool_seed_++;
+  next_buffer_id_ = next_pool_seed_.fetch_add(1, std::memory_order_relaxed) << 32;
 }
 
 BufferPool::~BufferPool() {

@@ -16,6 +16,7 @@
 #ifndef SRC_IOLITE_BUFFER_POOL_H_
 #define SRC_IOLITE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -124,7 +125,8 @@ class BufferPool {
   uint64_t bytes_reserved_ = 0;
   uint64_t next_buffer_id_;
 
-  static uint64_t next_pool_seed_;
+  // Atomic: pools are constructed concurrently by threaded plane workers.
+  static std::atomic<uint64_t> next_pool_seed_;
 };
 
 }  // namespace iolite

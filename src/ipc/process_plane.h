@@ -1,0 +1,196 @@
+// The shared-memory data plane: everything proxy, origin and CGI workers
+// need to cooperate across process boundaries, assembled from the src/ipc
+// primitives and discoverable through the ShmTable by name alone.
+//
+// One region holds (names as published in the directory):
+//
+//   plane.q.client    MpmcQueue   client -> proxy workers (ClientRequestMsg)
+//   plane.q.origin    MpmcQueue   proxy -> origin workers (FillRequestMsg)
+//   plane.q.cgi       MpmcQueue   proxy -> CGI workers    (FillRequestMsg)
+//   plane.q.hdrfree   MpmcQueue   free-list of response-header slab slots
+//   plane.q.cgifree   MpmcQueue   free-list of CGI response slab slots
+//   plane.q.copyfree  MpmcQueue   free-list of copy-mode slab slots
+//   plane.map.cache   ShmMap      FileId -> cached payload (offset, len) + pins
+//   plane.futures     ShmFuturePool   response/fill completion slots
+//   plane.counters    ShmCounters     warm-path counters (ABI, see shm_counters.h)
+//   plane.slab.*      raw spans       the slab storage the free-lists carve
+//
+// Free-lists are themselves MPMC queues of SliceDescs — a slot *is* a
+// descriptor whose `reserved` field carries the slot's capacity — so the
+// plane needs no shared-memory allocator beyond the region's bump cursor.
+//
+// This header is pure mechanism: no file-system or HTTP knowledge. The
+// worker roles that give the plane its behaviour live in
+// src/proxy/plane_proxy.h; composition and measurement in
+// src/driver/process_tier.h.
+
+#ifndef SRC_IPC_PROCESS_PLANE_H_
+#define SRC_IPC_PROCESS_PLANE_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/ipc/mpmc_queue.h"
+#include "src/ipc/shm_counters.h"
+#include "src/ipc/shm_future.h"
+#include "src/ipc/shm_map.h"
+#include "src/ipc/shm_region.h"
+#include "src/ipc/shm_table.h"
+
+namespace iolipc {
+
+// Directory names of the plane's structures.
+inline constexpr char kPlaneClientQueue[] = "plane.q.client";
+inline constexpr char kPlaneOriginQueue[] = "plane.q.origin";
+inline constexpr char kPlaneCgiQueue[] = "plane.q.cgi";
+inline constexpr char kPlaneHeaderFree[] = "plane.q.hdrfree";
+inline constexpr char kPlaneCgiFree[] = "plane.q.cgifree";
+inline constexpr char kPlaneCopyFree[] = "plane.q.copyfree";
+inline constexpr char kPlaneCacheMap[] = "plane.map.cache";
+inline constexpr char kPlaneFutures[] = "plane.futures";
+inline constexpr char kPlaneCounters[] = "plane.counters";
+
+struct PlaneConfig {
+  // Capacities. Queues and the map must be powers of two.
+  uint32_t table_capacity = 16;
+  uint32_t queue_capacity = 256;
+  uint32_t map_capacity = 1024;
+  uint32_t future_capacity = 64;
+  // Slabs. Header slots hold one built response header each; CGI slots hold
+  // one contiguous [header][body] dynamic response; copy slots exist only
+  // for the copy-mode contrast path and must hold the largest document.
+  uint32_t header_slots = 64;
+  uint32_t header_slot_bytes = 256;
+  uint32_t cgi_slots = 32;
+  uint32_t cgi_slot_bytes = 16384;
+  uint32_t copy_slots = 32;
+  uint32_t copy_slot_bytes = 64 << 10;
+};
+
+// Attached handles to every plane structure. Value type: copies are cheap
+// handle copies onto the same shared state (what a forked worker uses).
+struct PlaneShared {
+  ShmRegion* region = nullptr;
+  ShmTable table;
+  MpmcQueue client_q;
+  MpmcQueue origin_q;
+  MpmcQueue cgi_q;
+  MpmcQueue header_free;
+  MpmcQueue cgi_free;
+  MpmcQueue copy_free;
+  ShmMap cache_map;
+  ShmFuturePool futures;
+  ShmCounters counters;
+
+  bool valid() const {
+    return region != nullptr && table.valid() && client_q.valid() &&
+           origin_q.valid() && cgi_q.valid() && header_free.valid() &&
+           cgi_free.valid() && copy_free.valid() && cache_map.valid() &&
+           futures.valid() && counters.valid();
+  }
+};
+
+// Builds the plane inside `region` (which must be freshly created: the
+// table must land at payload offset 0) and seeds the slab free-lists.
+PlaneShared CreatePlane(ShmRegion* region, const PlaneConfig& config);
+
+// Adopts a plane built by another process, by directory lookup only.
+PlaneShared AttachPlane(ShmRegion* region);
+
+// --- Wire messages ---------------------------------------------------------
+
+// Everything crossing a plane queue is a 32-byte trivially copyable struct
+// punned through MpmcQueue::PushAs/PopAs.
+
+enum class RequestKind : uint32_t { kStatic = 0, kCgi = 1 };
+
+// Client -> proxy. `future` is the client's response future; completing it
+// delivers (header desc, body desc).
+struct ClientRequestMsg {
+  uint64_t file_id;
+  FutureHandle future;
+  uint32_t kind;  // RequestKind.
+  uint32_t flags;
+  uint64_t reserved;
+};
+static_assert(sizeof(ClientRequestMsg) == 32, "queue messages are 32-byte cells");
+
+// Proxy -> origin (miss fill) and proxy -> CGI (dynamic response). For a
+// fill, `future` is a proxy-owned fill future; for CGI it is the *client's*
+// response future, completed by the CGI worker directly.
+struct FillRequestMsg {
+  uint64_t file_id;
+  FutureHandle future;
+  uint64_t reserved0;
+  uint64_t reserved1;
+};
+static_assert(sizeof(FillRequestMsg) == 32, "queue messages are 32-byte cells");
+
+// --- Response-descriptor flags ---------------------------------------------
+
+// Set in SliceDesc::flags of future values; they tell the consumer how to
+// give the resource back (bit 0 is kFrameEnd from slice_desc.h).
+constexpr uint32_t kRespHeaderSlab = 1u << 1;  // Return slot to plane.q.hdrfree.
+constexpr uint32_t kRespPinned = 1u << 2;      // Unpin cache_map key `ticket`.
+constexpr uint32_t kRespCgiSlab = 1u << 3;     // Return slot to plane.q.cgifree.
+constexpr uint32_t kRespCopySlab = 1u << 4;    // Return slot to plane.q.copyfree.
+
+// --- Slab slot helpers -----------------------------------------------------
+
+// Pops a free slot descriptor ({offset, capacity} with reserved=capacity).
+inline bool TakeSlot(MpmcQueue* free_list, SliceDesc* slot) {
+  return free_list->TryPop(slot);
+}
+
+// Returns a slot to its free-list. `d` may have a trimmed length and extra
+// flags; the slot is restored to full capacity from `reserved`. The push
+// cannot fail: the free-list's capacity covers every slot ever seeded.
+void ReturnSlot(MpmcQueue* free_list, const SliceDesc& d);
+
+// --- Worker harness --------------------------------------------------------
+
+enum class PlaneMode {
+  kInProcess,  // No concurrency: the driver pumps roles deterministically.
+  kThreads,    // One std::thread per worker (the TSan-checkable mode).
+  kProcesses,  // One fork()ed process per worker (the real data plane).
+};
+
+const char* PlaneModeName(PlaneMode mode);
+
+// Launches and joins one group of identical workers. `body` runs once per
+// worker — in a forked child (kProcesses), a thread (kThreads), or not at
+// all (kInProcess: the driver pumps roles itself). Groups are joined in
+// pipeline order: close a group's input queue, join the group, repeat.
+class WorkerGroup {
+ public:
+  WorkerGroup() = default;
+  ~WorkerGroup();
+
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  // Starts `n` workers. Forked children run `body` then _exit(0).
+  bool Launch(PlaneMode mode, int n, const std::function<void()>& body);
+
+  // Waits for every worker. Returns the number that ended abnormally
+  // (non-zero exit or signal); always 0 for threads.
+  int JoinAll();
+
+  // Forcibly kills worker `i` (kProcesses only; crash-recovery tests).
+  bool Kill(int i);
+
+  const std::vector<pid_t>& pids() const { return pids_; }
+
+ private:
+  std::vector<pid_t> pids_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace iolipc
+
+#endif  // SRC_IPC_PROCESS_PLANE_H_

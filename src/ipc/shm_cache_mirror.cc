@@ -1,0 +1,55 @@
+#include "src/ipc/shm_cache_mirror.h"
+
+#include <algorithm>
+
+#include "src/ipc/slice_desc.h"
+
+namespace iolipc {
+
+void ShmCacheMirror::OnInsert(iolfs::FileId file, uint64_t offset,
+                              const iolite::Aggregate& data) {
+  DrainDeferred();
+  if (offset != 0 || data.slice_count() != 1) {
+    ++skipped_;
+    return;
+  }
+  const iolite::Slice& s = data.slices()[0];
+  if (!region_->Contains(s.data(), s.length())) {
+    ++skipped_;  // Heap-backed buffer: not addressable by other processes.
+    return;
+  }
+  SliceDesc d{};
+  d.offset = region_->OffsetOf(s.data());
+  d.length = s.length();
+  d.flags = kFrameEnd;
+  uint64_t key = static_cast<uint64_t>(file);
+  // Re-insert semantics: a write replaced the entry, so the old mapping (if
+  // any) must not win. Erase-then-insert; a foreign pin parks the erase and
+  // the stale value persists until the pin drops — the payload it names is
+  // still valid bytes (immutability), just superseded.
+  if (!map_->Erase(key) && map_->PinsOf(key) >= 0) {
+    deferred_.push_back(key);
+    return;
+  }
+  map_->Insert(key, d);
+}
+
+void ShmCacheMirror::OnErase(iolfs::FileId file, uint64_t offset, size_t length) {
+  (void)offset;
+  (void)length;
+  DrainDeferred();
+  uint64_t key = static_cast<uint64_t>(file);
+  if (!map_->Erase(key) && map_->PinsOf(key) >= 0) {
+    deferred_.push_back(key);
+  }
+}
+
+void ShmCacheMirror::DrainDeferred() {
+  deferred_.erase(std::remove_if(deferred_.begin(), deferred_.end(),
+                                 [this](uint64_t key) {
+                                   return map_->Erase(key) || map_->PinsOf(key) < 0;
+                                 }),
+                  deferred_.end());
+}
+
+}  // namespace iolipc

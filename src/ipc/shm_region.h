@@ -38,6 +38,16 @@ class ShmRegion : public iolite::ExtentSource {
   // if the name does not resolve (or names a region of a different size).
   static std::unique_ptr<ShmRegion> Attach(const std::string& name);
 
+  // Unlinks every POSIX shm segment whose name starts with `prefix` (no
+  // leading '/'), carries a valid region header, and whose creating process
+  // is gone — the leak left behind when a test run dies between shm_open and
+  // its destructor. Returns the number of segments reclaimed; 0 when /dev/shm
+  // does not exist (anonymous-fallback environments have nothing to sweep).
+  static int SweepStale(const std::string& prefix);
+
+  // The pid that created the region (from the shared header).
+  uint64_t owner_pid() const;
+
   ~ShmRegion() override;
 
   ShmRegion(const ShmRegion&) = delete;

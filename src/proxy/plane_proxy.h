@@ -1,0 +1,149 @@
+// The data plane's worker roles: proxy, origin and CGI, each written once
+// and runnable three ways.
+//
+// Every role is a Step() that processes at most one message plus a Run()
+// loop around it. The YieldFn a role polls with decides the execution
+// shape: sched_yield makes it a real concurrent worker (forked process or
+// thread); "run the other roles one step" makes the identical code a
+// deterministic single-threaded simulator — which is how the in-process
+// baseline of the A/B comparison is produced, and why byte-identity across
+// modes is a meaningful check of the plane rather than of two separate
+// implementations.
+//
+// Topology (descriptors flow along the arrows; payload never moves):
+//
+//   client --ClientRequestMsg--> proxy --FillRequestMsg--> origin
+//     ^                            |   \--FillRequestMsg--> CGI
+//     |                            v
+//     +<----- response future <----+  (origin fills complete a proxy-owned
+//                                      fill future; CGI completes the
+//                                      client's future directly)
+//
+// The origin worker is where the unified cache goes multi-process: it runs
+// a replica SimFileSystem + FileCache whose buffers are carved from the
+// shared region, with a ShmCacheMirror projecting every cache entry into
+// plane.map.cache. SimFileSystem content is a pure function of (file id,
+// offset), and file ids are assigned sequentially from 1, so a replica
+// created with the same PlaneDocSet generates byte-identical content to the
+// driver's reference system — no content ever crosses the fork.
+
+#ifndef SRC_PROXY_PLANE_PROXY_H_
+#define SRC_PROXY_PLANE_PROXY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/fs/file_cache.h"
+#include "src/fs/file_io.h"
+#include "src/fs/sim_file_system.h"
+#include "src/iolite/buffer_pool.h"
+#include "src/ipc/process_plane.h"
+#include "src/ipc/shm_cache_mirror.h"
+#include "src/simos/sim_context.h"
+
+namespace iolproxy {
+
+// The document population: `doc_count` files of `doc_bytes` each, created
+// in name order so ids are 1..doc_count in every replica.
+struct PlaneDocSet {
+  int doc_count = 32;
+  uint64_t doc_bytes = 16384;
+};
+
+// Deterministic dynamic-content generator shared by the CGI worker and the
+// driver's verifier (the CGI analogue of SimFileSystem::ContentByteAt).
+inline uint8_t CgiByteAt(uint64_t request_key, uint64_t i) {
+  uint64_t x = request_key * 0x9e3779b97f4a7c15ull + i * 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 29;
+  return static_cast<uint8_t>(x * 0x94d049bb133111ebull >> 56);
+}
+
+// Future error codes the plane reports (ShmFuturePool reserves 1 = stale
+// handle, 2 = wait timeout).
+constexpr uint32_t kPlaneErrNoFile = 10;
+constexpr uint32_t kPlaneErrUnshareable = 11;
+constexpr uint32_t kPlaneErrNoFuture = 12;
+constexpr uint32_t kPlaneErrNoSlot = 13;
+
+// --- Origin -----------------------------------------------------------------
+
+// Serves miss fills: reads the file through its replica unified cache
+// (region-backed buffers, metadata mirrored to plane.map.cache), pins the
+// entry on behalf of the requester and completes the fill future with the
+// pinned descriptor.
+class OriginWorker {
+ public:
+  // `cache_budget_bytes` = 0 disables budget enforcement.
+  OriginWorker(iolipc::PlaneShared* shared, const PlaneDocSet& docs,
+               uint64_t cache_budget_bytes);
+
+  // Serves one fill; false when plane.q.origin yielded nothing.
+  bool Step();
+
+  // Until plane.q.origin is closed and drained.
+  void Run(const iolipc::YieldFn& idle);
+
+  iolfs::FileCache& cache() { return cache_; }
+
+ private:
+  iolipc::PlaneShared* s_;
+  uint64_t budget_;
+  iolsim::SimContext ctx_;
+  iolite::BufferPool pool_;  // Region-backed: every fill is region-resident.
+  iolfs::SimFileSystem fs_;
+  iolfs::FileCache cache_;
+  iolfs::FileIoService io_;
+  iolipc::ShmCacheMirror mirror_;
+};
+
+// --- CGI --------------------------------------------------------------------
+
+// Serves dynamic requests: builds one contiguous [header][body] response in
+// a CGI slab slot and completes the client's future directly — the response
+// flows CGI -> client without re-entering the proxy, the co-located IOL-IPC
+// shape of PR 5 taken cross-process.
+class CgiWorker {
+ public:
+  CgiWorker(iolipc::PlaneShared* shared, uint64_t body_bytes);
+
+  // Serves one dynamic request; false when plane.q.cgi yielded nothing.
+  // `yield` is polled while waiting for a free slab slot.
+  bool Step(const iolipc::YieldFn& yield);
+
+  void Run(const iolipc::YieldFn& idle);
+
+ private:
+  iolipc::PlaneShared* s_;
+  uint64_t body_bytes_;
+};
+
+// --- Proxy ------------------------------------------------------------------
+
+// The front tier: pops client requests, serves static ones from the shared
+// cache map (warm path: pin + header build, zero payload bytes touched),
+// routes misses through origin fill futures and dynamic requests to the CGI
+// queue. With `copy_data_path` the warm path degenerates to memcpy-per-
+// response into a copy slab — the measured contrast that shows what the
+// descriptor discipline saves.
+class ProxyWorker {
+ public:
+  ProxyWorker(iolipc::PlaneShared* shared, bool copy_data_path,
+              uint64_t fill_wait_us);
+
+  // Serves one client request end to end; false when plane.q.client yielded
+  // nothing. `yield` is polled while waiting on fills and free slots.
+  bool Step(const iolipc::YieldFn& yield);
+
+  void Run(const iolipc::YieldFn& yield);
+
+ private:
+  void ServeStatic(const iolipc::ClientRequestMsg& m, const iolipc::YieldFn& yield);
+
+  iolipc::PlaneShared* s_;
+  bool copy_data_path_;
+  uint64_t fill_wait_us_;
+};
+
+}  // namespace iolproxy
+
+#endif  // SRC_PROXY_PLANE_PROXY_H_
