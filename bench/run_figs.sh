@@ -37,6 +37,8 @@ for bin in "$build_dir"/bench_fig* "$build_dir"/bench_sweep_* "$build_dir"/bench
       short=$(echo "$name" | sed 's/^bench_\(fig[0-9][0-9]*\).*/\1/') ;;
     bench_fig_ipc_plane)
       short="ipc_plane" ;;
+    bench_fig_shard_scaling)
+      short="shard_scaling" ;;
     *)
       short=${name#bench_} ;;
   esac
@@ -93,6 +95,31 @@ if [ -f "$f" ]; then
     exit 1
   fi
   echo "== schema check ok: $f per-tier fields present, IO-Lite rows copy-free"
+fi
+
+# Shard-scaling schema check: every cell must carry the host-side engine
+# throughput (events_per_sec — the quantity the scaling figure plots) and a
+# real latency distribution, and all three shard series must be present.
+# (The bench itself already exits non-zero if shard counts diverge.)
+f="$out_dir/BENCH_shard_scaling.json"
+if [ -f "$f" ]; then
+  for field in events_per_sec p99_ms wall_ms; do
+    if ! grep -q "\"$field\": " "$f"; then
+      echo "schema check failed: no $field fields in $f" >&2
+      exit 1
+    fi
+  done
+  for series in shards-1 shards-2 shards-4; do
+    if ! grep -q "\"series\": \"$series\"" "$f"; then
+      echo "schema check failed: missing series $series in $f" >&2
+      exit 1
+    fi
+  done
+  if ! grep '"events_per_sec": ' "$f" | grep -qv '"events_per_sec": 0[,}]'; then
+    echo "schema check failed: every events_per_sec is zero in $f" >&2
+    exit 1
+  fi
+  echo "== schema check ok: $f has all shard series with live events_per_sec"
 fi
 
 # Data-plane schema check: every row must carry the cross-process copy

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""Report-only wall-clock comparison of two BENCH_*.json files.
+"""Wall-clock comparison of two BENCH_*.json files.
 
-Usage: scripts/bench_delta.py BASELINE.json CURRENT.json
+Usage: scripts/bench_delta.py [--fail-above PCT] BASELINE.json CURRENT.json
 
 Prints, per series, the events_per_sec delta of CURRENT relative to
-BASELINE. Always exits 0: wall-clock numbers depend on the host, so this is
-a trend report for humans (and CI logs), not a gate. Simulated values
-(requests, latencies, counters) are protected separately by the determinism
-tests — this script deliberately ignores them.
+BASELINE. By default this always exits 0: wall-clock numbers depend on the
+host, so it is a trend report for humans (and CI logs), not a gate.
+Simulated values (requests, latencies, counters) are protected separately
+by the determinism tests — this script deliberately ignores them.
+
+With --fail-above PCT the script becomes a coarse regression tripwire: it
+exits 1 if any series present in BOTH files slowed down by more than PCT
+percent. The threshold should be generous (CI hosts are noisy); it exists
+to catch order-of-magnitude engine regressions, not 5% drift. Series that
+exist on only one side never trip the gate.
 """
 
 import json
@@ -26,15 +32,26 @@ def rows_by_series(path):
 
 
 def main():
-    if len(sys.argv) != 3:
+    argv = sys.argv[1:]
+    fail_above = None
+    if "--fail-above" in argv:
+        i = argv.index("--fail-above")
+        try:
+            fail_above = float(argv[i + 1])
+        except (IndexError, ValueError):
+            print("bench_delta: --fail-above needs a numeric percentage", file=sys.stderr)
+            return 2
+        del argv[i:i + 2]
+    if len(argv) != 2:
         print(__doc__.strip())
         return 0
-    base_doc, base = rows_by_series(sys.argv[1])
-    cur_doc, cur = rows_by_series(sys.argv[2])
+    base_doc, base = rows_by_series(argv[0])
+    cur_doc, cur = rows_by_series(argv[1])
     if base_doc.get("smoke") != cur_doc.get("smoke"):
         print("bench_delta: smoke flags differ (%s vs %s) — deltas are meaningless"
               % (base_doc.get("smoke"), cur_doc.get("smoke")))
     print("%-24s %14s %14s %8s" % ("series", "base ev/s", "current ev/s", "delta"))
+    tripped = []
     for key in sorted(base.keys() | cur.keys(), key=str):
         b = base.get(key)
         c = cur.get(key)
@@ -48,7 +65,17 @@ def main():
         bv, cv = b["events_per_sec"], c["events_per_sec"]
         delta = (cv - bv) / bv * 100 if bv else float("nan")
         print("%-24s %14.4g %14.4g %+7.1f%%" % (name, bv, cv, delta))
-    print("bench_delta: report-only (never fails the build)")
+        if fail_above is not None and delta < -fail_above:
+            tripped.append((name, delta))
+    if fail_above is None:
+        print("bench_delta: report-only (never fails the build)")
+        return 0
+    if tripped:
+        for name, delta in tripped:
+            print("bench_delta: FAIL %s regressed %.1f%% (threshold %.0f%%)"
+                  % (name, -delta, fail_above), file=sys.stderr)
+        return 1
+    print("bench_delta: all shared series within %.0f%% of baseline" % fail_above)
     return 0
 
 

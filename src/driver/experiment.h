@@ -54,6 +54,12 @@ struct ExperimentConfig {
   // Enforce the file-cache byte budget from the memory model after each
   // request (trace experiments). Off for single-file tests.
   bool enforce_cache_budget = false;
+  // OS threads executing the sharded engine (ShardedExperiment only; the
+  // classic single-context Experiment ignores it). The lane topology —
+  // one lane per fleet member plus the frontend — is fixed by the fleet,
+  // so any shard_count produces byte-identical telemetry; this knob only
+  // changes how many lanes run concurrently.
+  int shard_count = 1;
 };
 
 // Per-member slice of the run (who served what, how concurrently).

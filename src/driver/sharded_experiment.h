@@ -1,0 +1,92 @@
+// ShardedExperiment: the parallel fleet engine over shard lanes.
+//
+// The classic Experiment drives a fleet whose members share one simulated
+// machine and one event queue. This engine models the fleet the way a real
+// deployment is built — each member is its own machine (System: CPU, disk,
+// cache, link) with its own clock and event lane — and executes the lanes
+// in parallel under the ShardRunner's conservative-lookahead rounds. The
+// client population lives on a frontend lane; requests and responses cross
+// lanes as ShardMsgs with the client↔fleet one-way delay as the lookahead.
+//
+// Topology is fixed by the fleet (one lane per member + the frontend);
+// ExperimentConfig::shard_count only chooses how many OS threads execute
+// the lanes. Telemetry is therefore byte-identical for any shard_count —
+// the determinism contract the invariance tests pin.
+//
+// Scope (asserted, not silently wrong): one-way delay > 0 (it is the
+// lookahead), pipeline_depth == 1, no workload-pinned files (trace replay),
+// no enforce_cache_budget. Balancing is client-affine round-robin —
+// client c is served by member c mod M — which a per-member accept queue
+// (max_concurrent) still applies to.
+
+#ifndef SRC_DRIVER_SHARDED_EXPERIMENT_H_
+#define SRC_DRIVER_SHARDED_EXPERIMENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/driver/experiment.h"
+#include "src/driver/telemetry.h"
+#include "src/driver/workload.h"
+#include "src/httpd/http_server.h"
+#include "src/net/tcp.h"
+#include "src/simos/shard.h"
+#include "src/system/system.h"
+
+namespace ioldrv {
+
+// One fleet member's machine + server, built by the caller's factory so
+// benches control the server kind, cost model and file catalog. Factories
+// run sequentially on the calling thread (construction order is part of
+// the determinism contract); every member must materialize the same file
+// catalog in the same order, since FileIds travel across lanes.
+struct ShardMember {
+  std::unique_ptr<iolsys::System> sys;
+  std::unique_ptr<iolhttp::HttpServer> server;
+};
+using ShardMemberFactory = std::function<ShardMember(size_t member)>;
+
+// The merged result plus the parallel-engine diagnostics.
+struct ShardedResult {
+  ExperimentResult result;            // Legacy-shaped: benches reuse JsonReporter.
+  std::vector<uint64_t> lane_events;  // [0] = frontend, [1..] = members.
+  iolsim::ShardRunner::Stats shard;   // Rounds, messages, spills, threads.
+};
+
+class ShardedExperiment {
+ public:
+  using RequestSource = Experiment::RequestSource;
+
+  ShardedExperiment(size_t members, ShardMemberFactory factory,
+                    ExperimentConfig config);
+  ~ShardedExperiment();
+
+  ShardedExperiment(const ShardedExperiment&) = delete;
+  ShardedExperiment& operator=(const ShardedExperiment&) = delete;
+
+  // Runs `workload` to completion across the lanes. One Run per instance,
+  // like the classic engine.
+  ShardedResult Run(Workload* workload, RequestSource next_file);
+
+  const Telemetry& telemetry() const { return telemetry_; }
+  iolsys::System* member_system(size_t m) { return members_[m].sys.get(); }
+
+ private:
+  class FrontendLane;
+  class MemberLane;
+
+  size_t member_count_;
+  ExperimentConfig config_;
+  std::vector<ShardMember> members_;
+  Telemetry telemetry_;
+  std::unique_ptr<FrontendLane> frontend_;
+  std::vector<std::unique_ptr<MemberLane>> member_lanes_;
+  bool ran_ = false;
+};
+
+}  // namespace ioldrv
+
+#endif  // SRC_DRIVER_SHARDED_EXPERIMENT_H_

@@ -1,0 +1,181 @@
+// The sharded engine's determinism contract: run-twice reproducibility and
+// shard-count invariance. The lane topology is fixed by the fleet, so
+// ExperimentConfig::shard_count (OS threads) must change nothing but
+// wall-clock time — shards ∈ {1, 2, 4} on a fig03-shaped load have to
+// produce byte-identical telemetry, counters, and per-member shares.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/driver/sharded_experiment.h"
+#include "src/driver/workload.h"
+
+namespace {
+
+using ioldrv::ExperimentConfig;
+using ioldrv::ExperimentResult;
+using ioldrv::RequestRecord;
+using ioldrv::ShardedExperiment;
+using ioldrv::ShardedResult;
+using ioldrv::ShardMember;
+
+constexpr size_t kMembers = 4;
+constexpr iolsim::SimTime kOneWay = 1'000'000;  // 1 ms — the lookahead.
+
+ShardMember MakeMember(size_t) {
+  iolbench::Bench b = iolbench::MakeBench(iolbench::ServerKind::kFlashLite);
+  b.sys->fs().CreateFile("doc", 6000);
+  return ShardMember{std::move(b.sys), std::move(b.server)};
+}
+
+ExperimentConfig Fig03ShapedConfig(int shards, bool persistent) {
+  ExperimentConfig config;
+  config.max_requests = 600;
+  config.warmup_requests = 50;
+  config.persistent_connections = persistent;
+  config.delay.one_way_delay = kOneWay;
+  config.shard_count = shards;
+  return config;
+}
+
+struct Capture {
+  ShardedResult sharded;
+  std::vector<RequestRecord> records;
+};
+
+Capture RunClosedLoop(int shards, bool persistent, int clients = 24) {
+  ShardedExperiment exp(kMembers, MakeMember, Fig03ShapedConfig(shards, persistent));
+  iolfs::FileId doc = exp.member_system(0)->fs().Lookup("doc");
+  ioldrv::ClosedLoop workload(clients);
+  Capture cap;
+  cap.sharded = exp.Run(&workload, [doc] { return doc; });
+  cap.records = exp.telemetry().records();
+  return cap;
+}
+
+Capture RunOpenLoop(int shards) {
+  ShardedExperiment exp(kMembers, MakeMember, Fig03ShapedConfig(shards, false));
+  iolfs::FileId doc = exp.member_system(0)->fs().Lookup("doc");
+  ioldrv::OpenLoopPoisson workload(2000.0, 0x5eed, 8);
+  Capture cap;
+  cap.sharded = exp.Run(&workload, [doc] { return doc; });
+  cap.records = exp.telemetry().records();
+  return cap;
+}
+
+// Byte-identical telemetry: every field of every record.
+void ExpectSameRecords(const std::vector<RequestRecord>& a,
+                       const std::vector<RequestRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].issue, b[i].issue) << "record " << i;
+    EXPECT_EQ(a[i].admit, b[i].admit) << "record " << i;
+    EXPECT_EQ(a[i].complete, b[i].complete) << "record " << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << "record " << i;
+    EXPECT_EQ(a[i].server, b[i].server) << "record " << i;
+    EXPECT_EQ(a[i].cache_hit, b[i].cache_hit) << "record " << i;
+    EXPECT_EQ(a[i].counted, b[i].counted) << "record " << i;
+  }
+}
+
+// Every simulated (non-wall-clock) field of the merged result.
+void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.megabits_per_sec, b.megabits_per_sec);
+  EXPECT_EQ(a.cache_hit_rate, b.cache_hit_rate);
+  EXPECT_EQ(a.cache_hit_fraction, b.cache_hit_fraction);
+  EXPECT_EQ(a.peak_concurrent, b.peak_concurrent);
+  EXPECT_EQ(a.admission_waits, b.admission_waits);
+  EXPECT_EQ(a.count_start, b.count_start);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.latency.count, b.latency.count);
+  EXPECT_EQ(a.latency.mean_ms, b.latency.mean_ms);
+  EXPECT_EQ(a.latency.p50_ms, b.latency.p50_ms);
+  EXPECT_EQ(a.latency.p99_ms, b.latency.p99_ms);
+  EXPECT_EQ(a.latency.max_ms, b.latency.max_ms);
+  ASSERT_EQ(a.per_server.size(), b.per_server.size());
+  for (size_t m = 0; m < a.per_server.size(); ++m) {
+    EXPECT_EQ(a.per_server[m].requests, b.per_server[m].requests) << "member " << m;
+    EXPECT_EQ(a.per_server[m].bytes, b.per_server[m].bytes) << "member " << m;
+    EXPECT_EQ(a.per_server[m].peak_concurrent, b.per_server[m].peak_concurrent)
+        << "member " << m;
+  }
+}
+
+TEST(ShardedExperiment, RunTwiceIsIdentical) {
+  Capture first = RunClosedLoop(2, false);
+  Capture second = RunClosedLoop(2, false);
+  ExpectSameRecords(first.records, second.records);
+  ExpectSameResult(first.sharded.result, second.sharded.result);
+  EXPECT_EQ(first.sharded.lane_events, second.sharded.lane_events);
+  EXPECT_EQ(first.sharded.shard.rounds, second.sharded.shard.rounds);
+  EXPECT_EQ(first.sharded.shard.messages, second.sharded.shard.messages);
+}
+
+TEST(ShardedExperiment, ShardCountInvariance) {
+  Capture base = RunClosedLoop(1, false);
+  ASSERT_EQ(base.sharded.shard.threads, 1);
+  EXPECT_EQ(base.sharded.result.requests, 600u);
+  for (int shards : {2, 4}) {
+    Capture other = RunClosedLoop(shards, false);
+    ExpectSameRecords(base.records, other.records);
+    ExpectSameResult(base.sharded.result, other.sharded.result);
+    EXPECT_EQ(base.sharded.lane_events, other.sharded.lane_events);
+    EXPECT_EQ(base.sharded.shard.rounds, other.sharded.shard.rounds);
+    EXPECT_EQ(base.sharded.shard.messages, other.sharded.shard.messages);
+  }
+}
+
+TEST(ShardedExperiment, ShardCountInvariancePersistentConnections) {
+  Capture base = RunClosedLoop(1, true);
+  for (int shards : {2, 4}) {
+    Capture other = RunClosedLoop(shards, true);
+    ExpectSameRecords(base.records, other.records);
+    ExpectSameResult(base.sharded.result, other.sharded.result);
+  }
+}
+
+TEST(ShardedExperiment, ShardCountInvarianceOpenLoop) {
+  Capture base = RunOpenLoop(1);
+  EXPECT_GT(base.sharded.result.requests, 0u);
+  for (int shards : {2, 4}) {
+    Capture other = RunOpenLoop(shards);
+    ExpectSameRecords(base.records, other.records);
+    ExpectSameResult(base.sharded.result, other.sharded.result);
+  }
+}
+
+TEST(ShardedExperiment, LaneEventCountsSumToMergedTotal) {
+  Capture cap = RunClosedLoop(4, false);
+  ASSERT_EQ(cap.sharded.lane_events.size(), kMembers + 1);
+  uint64_t sum = 0;
+  for (uint64_t e : cap.sharded.lane_events) {
+    EXPECT_GT(e, 0u);
+    sum += e;
+  }
+  EXPECT_EQ(sum, cap.sharded.result.events_dispatched);
+  // Every member served a share (client-affine round-robin, 24 clients).
+  for (const auto& share : cap.sharded.result.per_server) {
+    EXPECT_GT(share.requests, 0u);
+  }
+  // Cross-lane traffic really flowed: one request + one response per
+  // completion, at minimum.
+  EXPECT_GE(cap.sharded.shard.messages, 2 * cap.sharded.result.requests);
+}
+
+TEST(ShardedExperiment, ExcessThreadsClampToLaneCount) {
+  // More threads than lanes must not deadlock the barriers (the runner
+  // clamps), and the result is still the same.
+  Capture base = RunClosedLoop(1, false, 8);
+  Capture wide = RunClosedLoop(64, false, 8);
+  EXPECT_EQ(wide.sharded.shard.threads, static_cast<int>(kMembers) + 1);
+  ExpectSameRecords(base.records, wide.records);
+  ExpectSameResult(base.sharded.result, wide.sharded.result);
+}
+
+}  // namespace
