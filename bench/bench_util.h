@@ -122,6 +122,7 @@ class JsonReporter {
       row.wall_ms = result.wall_ms;
       row.events_per_sec =
           result.wall_ms > 0 ? result.events_dispatched / (result.wall_ms / 1000.0) : 0;
+      row.tenants = result.tenants;
       rows_.push_back(std::move(row));
     }
   }
@@ -165,6 +166,23 @@ class JsonReporter {
         std::fprintf(f, ", \"wall_ms\": %.6g, \"events_per_sec\": %.6g", r.wall_ms,
                      r.events_per_sec);
       }
+      // Multi-tenant rows carry a per-tenant breakdown; single-tenant rows
+      // omit the key entirely, so every pre-QoS BENCH_*.json is unchanged.
+      if (!r.tenants.empty()) {
+        std::fprintf(f, ", \"tenants\": [");
+        for (size_t t = 0; t < r.tenants.size(); ++t) {
+          const ioldrv::TenantBreakdown& b = r.tenants[t];
+          std::fprintf(f,
+                       "%s{\"tenant_id\": %u, \"name\": \"%s\", \"requests\": %llu, "
+                       "\"p50_ms\": %.6g, \"p99_ms\": %.6g, \"cache_hit_rate\": %.6g, "
+                       "\"cache_hit_fraction\": %.6g}",
+                       t == 0 ? "" : ", ", static_cast<unsigned>(b.tenant),
+                       b.name.c_str(), static_cast<unsigned long long>(b.requests),
+                       b.latency.p50_ms, b.latency.p99_ms, b.cache_hit_rate,
+                       b.cache_hit_fraction);
+        }
+        std::fprintf(f, "]");
+      }
       std::fprintf(f, "}");
     }
     std::fprintf(f, "\n]}\n");
@@ -188,6 +206,7 @@ class JsonReporter {
     double origin_p99_ms = 0;
     double wall_ms = 0;
     double events_per_sec = 0;
+    std::vector<ioldrv::TenantBreakdown> tenants;
   };
   std::string figure_;
   std::string path_;

@@ -39,6 +39,8 @@ for bin in "$build_dir"/bench_fig* "$build_dir"/bench_sweep_* "$build_dir"/bench
       short="ipc_plane" ;;
     bench_fig_shard_scaling)
       short="shard_scaling" ;;
+    bench_fig_tenant_isolation)
+      short="tenant_isolation" ;;
     *)
       short=${name#bench_} ;;
   esac
@@ -146,4 +148,30 @@ if [ -f "$f" ]; then
     exit 1
   fi
   echo "== schema check ok: $f plane rows identical, zero-copy rows copy-free"
+fi
+
+# Tenant-isolation schema check: multi-tenant rows must carry the per-tenant
+# breakdown (tenant_id + per-tenant percentiles), both tenants of the
+# adversarial mix must appear, and the hot tenant must report a live p99.
+# (The bench itself exits non-zero if the isolation invariant fails on a
+# full run.)
+f="$out_dir/BENCH_tenant_isolation.json"
+if [ -f "$f" ]; then
+  for field in tenants tenant_id cache_hit_rate; do
+    if ! grep -q "\"$field\": " "$f"; then
+      echo "schema check failed: no $field fields in $f" >&2
+      exit 1
+    fi
+  done
+  for tenant in hot-zipf scan; do
+    if ! grep -q "\"name\": \"$tenant\"" "$f"; then
+      echo "schema check failed: missing tenant $tenant in $f" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q '"series": "wfq+partition"' "$f"; then
+    echo "schema check failed: missing wfq+partition cell in $f" >&2
+    exit 1
+  fi
+  echo "== schema check ok: $f rows carry per-tenant breakdowns"
 fi

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/qos/policy.h"
+
 namespace ioldrv {
 
 uint64_t Experiment::CacheBudget() const {
@@ -155,6 +157,37 @@ ExperimentResult Experiment::Run(Workload* workload, RequestSource next_file,
   result.cache_hit_fraction = telemetry_->CacheHitFraction(record_base);
   result.per_server = share_;
 
+  // Per-tenant breakdown: filled for multi-tenant streams or whenever a
+  // policy plane is attached; single-tenant pre-QoS runs leave it empty so
+  // their JSON rows are unchanged. The allocation-free probe runs first:
+  // summarizing unconditionally would make the engine's total allocation
+  // count grow with run length (per-tenant sample vectors), which the
+  // steady-state zero-allocation test pins.
+  bool any_tagged = false;
+  const std::vector<RequestRecord>& recs = telemetry_->records();
+  for (size_t i = record_base; i < recs.size() && !any_tagged; ++i) {
+    any_tagged = recs[i].tenant != iolsim::kDefaultTenant;
+  }
+  if (config_.qos != nullptr || any_tagged) {
+    std::vector<TenantSummary> per_tenant = telemetry_->PerTenant(record_base);
+    result.tenants.reserve(per_tenant.size());
+    for (const TenantSummary& ts : per_tenant) {
+      TenantBreakdown b;
+      b.tenant = ts.tenant;
+      b.requests = ts.requests;
+      b.bytes = ts.bytes;
+      b.latency = ts.latency;
+      b.cache_hit_fraction = ts.cache_hit_fraction;
+      if (config_.qos != nullptr) {
+        if (ts.tenant < config_.qos->registry().size()) {
+          b.name = config_.qos->registry().info(ts.tenant).name;
+        }
+        b.cache_hit_rate = config_.qos->cache_counters(ts.tenant).HitRate();
+      }
+      result.tenants.push_back(std::move(b));
+    }
+  }
+
   // Drain in-flight continuations so no event in the queue outlives the
   // engine; every callback early-returns behind done_. (The result was
   // already captured above, so the extra clock movement is invisible.)
@@ -210,13 +243,42 @@ void Experiment::IssueRequest(size_t lane) {
   l.seq = conn_state_[l.conn_index].next_issue++;
   l.record = RequestRecord{};
   l.record.issue = ctx_->clock().now();
+  // Tenant resolution precedes NextFile: a multi-tenant workload picks the
+  // file from the resolved tenant's stream (see Workload::TenantOf).
+  iolsim::TenantId hint = workload_->TenantOf(l.conn_index, l.seq);
   l.has_pinned_file = workload_->NextFile(&l.pinned_file);
+  if (config_.qos != nullptr) {
+    iolqos::ClassifyContext cc;
+    cc.hint = hint;
+    cc.file = l.has_pinned_file ? l.pinned_file : iolfs::kInvalidFile;
+    cc.client = l.conn_index;
+    l.req.tenant = config_.qos->Classify(cc);
+  } else {
+    l.req.tenant = hint;
+  }
   // Request propagation to the fleet.
   ctx_->events().ScheduleAfter(config_.delay.one_way_delay,
                                [this, lane] { ArriveAtFleet(lane); });
 }
 
 void Experiment::ArriveAtFleet(size_t lane) {
+  if (done_) {
+    return;
+  }
+  if (config_.qos != nullptr) {
+    // The on_admit stage hook: a throttled tenant's request waits out its
+    // token-bucket delay at the front door, before the balancer sees it.
+    iolsim::SimTime hold =
+        config_.qos->OnAdmit(lanes_[lane].req.tenant, ctx_->clock().now());
+    if (hold > 0) {
+      ctx_->events().ScheduleAfter(hold, [this, lane] { AdmitToFleet(lane); });
+      return;
+    }
+  }
+  AdmitToFleet(lane);
+}
+
+void Experiment::AdmitToFleet(size_t lane) {
   if (done_) {
     return;
   }
@@ -257,6 +319,10 @@ void Experiment::ServeRequest(size_t lane) {
   l.req.file = l.has_pinned_file ? l.pinned_file : next_file_();
   l.req.response_bytes = 0;
   l.req.cache_hit = false;
+  // The serve runs as its tenant: the fair schedulers and the cache's
+  // per-tenant accounting read the context's active tenant from here on
+  // (a plain store; stays kDefaultTenant in single-tenant runs).
+  ctx_->set_active_tenant(l.req.tenant);
   iolhttp::HttpServer* server = fleet_.server(l.server);
   if (!l.conn->connected()) {
     // Handshake CPU (SYN/PCB work) is a pipeline stage like any other; the
@@ -280,6 +346,9 @@ void Experiment::OnServerDone(size_t lane) {
   }
   if (config_.enforce_cache_budget) {
     cache_->EnforceBudget(CacheBudget());
+  }
+  if (config_.cache_budget_bytes > 0) {
+    cache_->EnforceBudget(config_.cache_budget_bytes);
   }
   --in_service_;
   --in_service_per_[l.server];
@@ -327,6 +396,7 @@ void Experiment::OnClientReceive(size_t lane, size_t bytes) {
   l.record.complete = ctx_->clock().now();
   l.record.bytes = bytes;
   l.record.server = l.server;
+  l.record.tenant = l.req.tenant;
   l.record.cache_hit = l.req.cache_hit;
   l.record.counted = completed_ > config_.warmup_requests;
   telemetry_->Record(l.record);

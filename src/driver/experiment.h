@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,10 @@
 #include "src/net/tcp.h"
 #include "src/simos/event_queue.h"
 #include "src/simos/sim_context.h"
+
+namespace iolqos {
+class QosPolicy;
+}  // namespace iolqos
 
 namespace ioldrv {
 
@@ -60,6 +65,17 @@ struct ExperimentConfig {
   // so any shard_count produces byte-identical telemetry; this knob only
   // changes how many lanes run concurrently.
   int shard_count = 1;
+  // Multi-tenant QoS policy plane (src/qos; classic Experiment only). When
+  // set, the engine classifies every request at issue time, fires the
+  // on_admit stage hook at the fleet front door (token-bucket delays are
+  // honored before the balancer runs), establishes the owning tenant on
+  // the SimContext for each serve, and fills ExperimentResult::tenants.
+  // Null runs the exact pre-QoS code paths. Not owned.
+  iolqos::QosPolicy* qos = nullptr;
+  // Fixed file-cache byte budget enforced after each completion (0 = off;
+  // independent of enforce_cache_budget's memory-model budget). The
+  // adversarial cache-pressure scenarios pin the budget explicitly.
+  uint64_t cache_budget_bytes = 0;
 };
 
 // Per-member slice of the run (who served what, how concurrently).
@@ -67,6 +83,22 @@ struct ServerShare {
   uint64_t requests = 0;  // Counted completions served by this member.
   uint64_t bytes = 0;
   int peak_concurrent = 0;
+};
+
+// Per-tenant slice of the result (multi-tenant runs; see
+// ExperimentConfig::qos). The two hit metrics answer different questions:
+// cache_hit_fraction is the per-request flag over the counted window, while
+// cache_hit_rate is this tenant's whole-run unified-cache lookup rate from
+// the QoS policy's per-tenant counters — the aggregate cache_hit_rate below
+// can no longer mask one tenant's hit-rate collapse behind another's scan.
+struct TenantBreakdown {
+  iolsim::TenantId tenant = iolsim::kDefaultTenant;
+  std::string name;        // Registry name when a policy is attached.
+  uint64_t requests = 0;   // Counted completions.
+  uint64_t bytes = 0;
+  LatencySummary latency;  // End-to-end, counted records only.
+  double cache_hit_fraction = 0;
+  double cache_hit_rate = 0;
 };
 
 // The structured result: throughput counters plus the latency distribution,
@@ -91,6 +123,10 @@ struct ExperimentResult {
   // End-to-end latency (issue to last response byte) of counted requests.
   LatencySummary latency;
   std::vector<ServerShare> per_server;
+  // Per-tenant breakdown, ordered by tenant id. Empty for single-tenant
+  // runs with no QoS policy attached (every pre-QoS bench), so existing
+  // JSON rows are unchanged.
+  std::vector<TenantBreakdown> tenants;
 
   // Proxy-tier fields (filled by ProxyTier; zero for single-tier runs, and
   // serialized on every JsonReporter row so BENCH_*.json schemas are
@@ -181,9 +217,11 @@ class Experiment {
   void UpdateSteadyMemory();
   // Client issues: the request propagates to the fleet (one-way delay).
   void IssueRequest(size_t lane);
-  // Request reaches the fleet: the balancer picks a member; admitted now
-  // or queued behind that member's max_concurrent.
+  // Request reaches the fleet: the on_admit stage hook may delay it
+  // (token-bucket throttling), then the balancer picks a member; admitted
+  // now or queued behind that member's max_concurrent.
   void ArriveAtFleet(size_t lane);
+  void AdmitToFleet(size_t lane);
   void ServeRequest(size_t lane);
   void OnServerDone(size_t lane);
   void OnClientReceive(size_t lane, size_t bytes);

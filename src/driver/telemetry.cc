@@ -89,4 +89,40 @@ double Telemetry::CacheHitFraction(size_t from) const {
   return counted > 0 ? static_cast<double>(hits) / static_cast<double>(counted) : 0;
 }
 
+std::vector<TenantSummary> Telemetry::PerTenant(size_t from) const {
+  // Pass 1: which tenants appear, and how many counted records each has.
+  iolsim::TenantId max_tenant = 0;
+  for (size_t i = from; i < records_.size(); ++i) {
+    if (records_[i].counted && records_[i].tenant > max_tenant) {
+      max_tenant = records_[i].tenant;
+    }
+  }
+  std::vector<std::vector<iolsim::SimTime>> samples(max_tenant + 1);
+  std::vector<TenantSummary> out(max_tenant + 1);
+  std::vector<uint64_t> hits(max_tenant + 1, 0);
+  for (size_t i = from; i < records_.size(); ++i) {
+    const RequestRecord& r = records_[i];
+    if (!r.counted) {
+      continue;
+    }
+    TenantSummary& s = out[r.tenant];
+    s.tenant = r.tenant;
+    ++s.requests;
+    s.bytes += r.bytes;
+    hits[r.tenant] += r.cache_hit ? 1 : 0;
+    samples[r.tenant].push_back(r.complete - r.issue);
+  }
+  std::vector<TenantSummary> present;
+  for (iolsim::TenantId t = 0; t <= max_tenant; ++t) {
+    if (out[t].requests == 0) {
+      continue;
+    }
+    out[t].latency = Summarize(std::move(samples[t]));
+    out[t].cache_hit_fraction =
+        static_cast<double>(hits[t]) / static_cast<double>(out[t].requests);
+    present.push_back(std::move(out[t]));
+  }
+  return present;
+}
+
 }  // namespace ioldrv

@@ -25,6 +25,7 @@ struct RequestRecord {
   iolsim::SimTime complete = 0;  // Last response byte reached the client.
   size_t bytes = 0;              // Response bytes (header + body).
   size_t server = 0;             // Fleet member that served it.
+  iolsim::TenantId tenant = iolsim::kDefaultTenant;  // Owning tenant (src/qos).
   bool cache_hit = false;        // Body served from the unified cache.
   bool counted = false;          // Post-warmup (excluded from summaries otherwise).
 };
@@ -39,6 +40,18 @@ struct LatencySummary {
   double p90_ms = 0;
   double p99_ms = 0;
   double max_ms = 0;
+};
+
+// Per-tenant slice of a run's counted records (multi-tenant QoS plane).
+struct TenantSummary {
+  iolsim::TenantId tenant = iolsim::kDefaultTenant;
+  uint64_t requests = 0;         // Counted completions.
+  uint64_t bytes = 0;
+  LatencySummary latency;        // End-to-end, counted records only.
+  // Fraction of this tenant's counted requests served from the cache (the
+  // per-request flag; whole-run per-tenant lookup rates live on the
+  // QosPolicy's cache counters).
+  double cache_hit_fraction = 0;
 };
 
 // Collects the record stream of one experiment run. Warmup records are kept
@@ -74,6 +87,12 @@ class Telemetry {
   // Fraction of counted requests served from the cache, starting at record
   // index `from` (same per-run slicing as the latency summaries).
   double CacheHitFraction(size_t from = 0) const;
+
+  // Per-tenant breakdown of the counted records, ordered by tenant id.
+  // Tenants with no counted records are omitted; a pre-QoS run (every
+  // record tagged kDefaultTenant) yields a single entry equal to the
+  // aggregate summaries.
+  std::vector<TenantSummary> PerTenant(size_t from = 0) const;
 
   void Clear() { records_.clear(); }
 

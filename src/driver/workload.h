@@ -53,6 +53,16 @@ class Workload {
   // log); the run then ends once in-flight requests drain.
   virtual bool NextArrival(iolsim::SimTime now, iolsim::SimTime* at);
 
+  // Tenant issuing the arrival (multi-tenant QoS plane, src/qos). The
+  // engine calls this immediately before NextFile for the same arrival, so
+  // a multi-tenant workload may pick the file from the resolved tenant's
+  // stream. Single-tenant workloads keep the default.
+  virtual iolsim::TenantId TenantOf(size_t client, uint64_t issue_seq) {
+    (void)client;
+    (void)issue_seq;
+    return iolsim::kDefaultTenant;
+  }
+
   // File pinned to the arrival being issued (trace replay). Returns false
   // when the workload does not dictate files; the engine falls back to the
   // experiment's RequestSource.

@@ -3,7 +3,59 @@
 #include <cassert>
 #include <vector>
 
+#include "src/qos/policy.h"
+
 namespace iolfs {
+
+void FileCache::SetPartitions(const iolqos::CachePlan* plan) {
+  // Tags are assigned at insert time; enabling over a populated cache would
+  // leave untagged entries invisible to the per-tenant shares.
+  assert((plan == nullptr || entries_.empty()) &&
+         "enable cache partitions before the cache is populated");
+  plan_ = plan;
+  if (plan == nullptr) {
+    shares_.clear();
+    lru_pos_.clear();
+  }
+}
+
+void FileCache::TouchTenantLru(EntryId id) {
+  auto pos = lru_pos_.find(id);
+  assert(pos != lru_pos_.end());
+  std::list<EntryId>& lru = shares_[entries_.at(id).tenant].lru;
+  lru.splice(lru.end(), lru, pos->second);
+}
+
+EntryId FileCache::PartitionVictim() const {
+  // The tenant furthest above its reserved share loses first (ties go to
+  // the lowest tenant id, deterministically); when everyone is within
+  // reservation the least-under tenant pays — the shared remainder is a
+  // bid, not a grant. Within the tenant: oldest unreferenced entry, falling
+  // back to its LRU head if everything is pinned.
+  size_t victim_tenant = shares_.size();
+  int64_t victim_over = 0;
+  for (size_t t = 0; t < shares_.size(); ++t) {
+    if (shares_[t].lru.empty()) {
+      continue;
+    }
+    int64_t over = static_cast<int64_t>(shares_[t].bytes) -
+                   static_cast<int64_t>(plan_->ReservedFor(static_cast<iolsim::TenantId>(t)));
+    if (victim_tenant == shares_.size() || over > victim_over) {
+      victim_tenant = t;
+      victim_over = over;
+    }
+  }
+  if (victim_tenant == shares_.size()) {
+    return kNoEntry;
+  }
+  const std::list<EntryId>& lru = shares_[victim_tenant].lru;
+  for (EntryId id : lru) {
+    if (!IsReferenced(id)) {
+      return id;
+    }
+  }
+  return lru.front();
+}
 
 void FileCache::SetPolicy(std::unique_ptr<ReplacementPolicy> policy) {
   for (const auto& [id, entry] : entries_) {
@@ -15,7 +67,7 @@ void FileCache::SetPolicy(std::unique_ptr<ReplacementPolicy> policy) {
 std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset, size_t length) {
   auto fit = by_file_.find(file);
   if (fit == by_file_.end()) {
-    (*misses_)++;
+    CountLookup(false);
     return std::nullopt;
   }
   const std::map<uint64_t, EntryId>& runs = fit->second;
@@ -24,7 +76,7 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
   // requested range is covered or a gap appears.
   auto it = runs.upper_bound(offset);
   if (it == runs.begin()) {
-    (*misses_)++;
+    CountLookup(false);
     return std::nullopt;
   }
   --it;
@@ -36,13 +88,13 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
   uint64_t covered_to = offset;
   while (covered_to < want_end) {
     if (it == runs.end() || it->first > covered_to) {
-      (*misses_)++;
+      CountLookup(false);
       return std::nullopt;  // Gap.
     }
     const Entry& entry = entries_.at(it->second);
     uint64_t run_end = entry.offset + entry.data.size();
     if (run_end <= covered_to) {
-      (*misses_)++;
+      CountLookup(false);
       return std::nullopt;  // Run ends before reaching our position.
     }
     covered_to = run_end;
@@ -60,9 +112,12 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
     uint64_t to = want_end < run_end ? want_end : run_end;
     out.AppendRange(entry.data, from - run_begin, to - from);
     policy_->OnAccess(it->second);
+    if (plan_ != nullptr) {
+      TouchTenantLru(it->second);
+    }
   }
   assert(out.size() == length);
-  (*hits_)++;
+  CountLookup(true);
   return out;
 }
 
@@ -116,9 +171,20 @@ void FileCache::Insert(FileId file, uint64_t offset, iolite::Aggregate data) {
       cache_refs_[s.buffer().get()]++;
     }
     size_t sz = agg.size();
-    entries_.emplace(id, Entry{file, off, std::move(agg)});
+    // The inserting tenant owns the entry: the principal that missed pays
+    // for the space (partitioned runs only; kDefaultTenant otherwise).
+    iolsim::TenantId owner = ctx_->active_tenant();
+    entries_.emplace(id, Entry{file, off, std::move(agg), owner});
     by_file_[file][off] = id;
     policy_->OnInsert(id, sz);
+    if (plan_ != nullptr) {
+      if (owner >= shares_.size()) {
+        shares_.resize(owner + 1);
+      }
+      TenantShare& share = shares_[owner];
+      share.bytes += sz;
+      lru_pos_[id] = share.lru.insert(share.lru.end(), id);
+    }
     if (mirror_ != nullptr) {
       mirror_->OnInsert(file, off, entries_.at(id).data);
     }
@@ -153,9 +219,12 @@ int FileCache::EnforceBudget(uint64_t budget) {
 }
 
 bool FileCache::EvictOne() {
-  EntryId victim = policy_->ChooseVictim(*this);
+  EntryId victim = plan_ != nullptr ? PartitionVictim() : policy_->ChooseVictim(*this);
   if (victim == kNoEntry) {
     return false;
+  }
+  if (qos_ != nullptr) {
+    qos_->OnCacheEviction(entries_.at(victim).tenant, qos_proxy_tier_);
   }
   EraseEntry(victim);
   (*evictions_)++;
@@ -189,6 +258,14 @@ void FileCache::EraseEntry(EntryId id) {
     mirror_->OnErase(it->second.file, it->second.offset, it->second.data.size());
   }
   bytes_ -= it->second.data.size();
+  if (plan_ != nullptr) {
+    auto pos = lru_pos_.find(id);
+    assert(pos != lru_pos_.end());
+    TenantShare& share = shares_[it->second.tenant];
+    share.bytes -= it->second.data.size();
+    share.lru.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
   for (const iolite::Slice& s : it->second.data.slices()) {
     auto rit = cache_refs_.find(s.buffer().get());
     assert(rit != cache_refs_.end());
@@ -199,6 +276,18 @@ void FileCache::EraseEntry(EntryId id) {
   by_file_[it->second.file].erase(it->second.offset);
   policy_->OnErase(id);
   entries_.erase(it);
+}
+
+void FileCache::CountLookup(bool hit) {
+  if (hit) {
+    (*hits_)++;
+  } else {
+    (*misses_)++;
+  }
+  if (qos_ != nullptr) {
+    qos_->OnCacheLookup(ctx_->active_tenant(), hit, qos_proxy_tier_,
+                        ctx_->clock().now());
+  }
 }
 
 bool EvictionTrigger::OnPageSelected(bool page_held_cached_io_data) {

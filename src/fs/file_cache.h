@@ -24,15 +24,22 @@
 #define SRC_FS_FILE_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "src/fs/replacement_policy.h"
 #include "src/fs/sim_file_system.h"
 #include "src/iolite/aggregate.h"
+#include "src/qos/tenant.h"
 #include "src/simos/sim_context.h"
+
+namespace iolqos {
+class QosPolicy;
+}  // namespace iolqos
 
 namespace iolfs {
 
@@ -52,7 +59,8 @@ class CacheMirror {
 class FileCache : public CacheView {
  public:
   FileCache(iolsim::SimContext* ctx, std::unique_ptr<ReplacementPolicy> policy)
-      : policy_(std::move(policy)),
+      : ctx_(ctx),
+        policy_(std::move(policy)),
         hits_(&ctx->stats().cache_hits),
         misses_(&ctx->stats().cache_misses),
         evictions_(&ctx->stats().cache_evictions) {}
@@ -81,6 +89,39 @@ class FileCache : public CacheView {
   // the cache or be detached first; it is invoked synchronously under every
   // entry create/erase.
   void set_mirror(CacheMirror* mirror) { mirror_ = mirror; }
+
+  // --- Multi-tenant QoS plane (src/qos) -------------------------------------
+
+  // Routes per-tenant accounting to `qos` the same way RouteStats routes the
+  // machine-wide counters: every Lookup fires the on_cache_lookup stage hook
+  // and bumps qos's per-tenant hit/miss block for this tier, and evictions
+  // are charged to the evicted entry's owner. `proxy_tier` selects the
+  // proxy-cache counter block (the unified/origin block otherwise). Null
+  // detaches. The aggregate RouteStats counters are maintained regardless,
+  // so existing per-tier hit-rate reporting is unchanged.
+  void AttachQos(iolqos::QosPolicy* qos, bool proxy_tier = false) {
+    qos_ = qos;
+    qos_proxy_tier_ = proxy_tier;
+  }
+
+  // Enables per-tenant cache partitioning under `plan` (null disables):
+  // entries are tagged with the inserting tenant (SimContext::
+  // active_tenant), and eviction takes from the tenant furthest above its
+  // reserved share — a tenant within its reservation never loses an entry
+  // while any other tenant holds more than its own reservation. The
+  // remainder (total - sum of reservations) is a shared pool tenants bid
+  // for by inserting. Victims within a tenant are its least-recently-used
+  // unreferenced entries (its referenced ones only as a last resort);
+  // the global ReplacementPolicy covers the unpartitioned case. Must be
+  // enabled while the cache is empty.
+  void SetPartitions(const iolqos::CachePlan* plan);
+
+  // Bytes currently held by `tenant` (0 unless partitioned).
+  uint64_t tenant_bytes(iolsim::TenantId tenant) const {
+    return tenant < shares_.size() ? shares_[tenant].bytes : 0;
+  }
+
+  bool partitioned() const { return plan_ != nullptr; }
 
   // Returns an aggregate covering [offset, offset+length) if the range is
   // fully cached (possibly assembled from several adjacent entries).
@@ -114,10 +155,25 @@ class FileCache : public CacheView {
     FileId file;
     uint64_t offset;
     iolite::Aggregate data;
+    iolsim::TenantId tenant = iolsim::kDefaultTenant;
+  };
+
+  // Per-tenant recency and byte accounting, maintained only when
+  // partitioned (SetPartitions).
+  struct TenantShare {
+    uint64_t bytes = 0;
+    std::list<EntryId> lru;  // Front = least recently used.
   };
 
   void EraseEntry(EntryId id);
+  // The partitioned victim: LRU entry of the most-over-reservation tenant.
+  EntryId PartitionVictim() const;
+  void TouchTenantLru(EntryId id);
+  // Counts one lookup into the routed aggregate counters and, when a QoS
+  // policy is attached, the active tenant's per-tier block + stage hooks.
+  void CountLookup(bool hit);
 
+  iolsim::SimContext* ctx_;
   std::unique_ptr<ReplacementPolicy> policy_;
   CacheMirror* mirror_ = nullptr;
   // Tier-routable accounting (see RouteStats).
@@ -132,6 +188,12 @@ class FileCache : public CacheView {
   std::unordered_map<iolite::Buffer*, int> cache_refs_;
   EntryId next_id_ = 1;
   uint64_t bytes_ = 0;
+  // QoS plane state (null/empty when detached).
+  iolqos::QosPolicy* qos_ = nullptr;
+  bool qos_proxy_tier_ = false;
+  const iolqos::CachePlan* plan_ = nullptr;
+  std::vector<TenantShare> shares_;
+  std::unordered_map<EntryId, std::list<EntryId>::iterator> lru_pos_;
 };
 
 // Models the Section 3.7 trigger: the VM pageout daemon reports each page

@@ -64,6 +64,7 @@ void FileIoService::ReadExtentAsync(FileId file, uint64_t offset, size_t length,
   PendingRead& pending = pending_reads_[idx];
   pending.file = file;
   pending.offset = offset;
+  pending.tenant = ctx_->active_tenant();
   pending.agg = iolite::Aggregate::FromBuffer(std::move(buffer));
   pending.done = std::move(done);
   ctx_->disk().AcquireAsync(&ctx_->events(), tally.disk, [this, idx] { FinishRead(idx); });
@@ -75,6 +76,7 @@ void FileIoService::FinishRead(uint32_t idx) {
   ReadCallback done = std::move(pending.done);
   FileId file = pending.file;
   uint64_t offset = pending.offset;
+  ctx_->set_active_tenant(pending.tenant);
   pending.next_free = free_pending_;
   free_pending_ = idx;
   cache_->Insert(file, offset, agg);

@@ -63,6 +63,10 @@ class FileIoService {
   struct PendingRead {
     FileId file = kInvalidFile;
     uint64_t offset = 0;
+    // Tenant that issued the read: restored before the cache insert and the
+    // caller's continuation, so completions are attributed to their owner
+    // even when no fair scheduler wraps the disk resource.
+    iolsim::TenantId tenant = iolsim::kDefaultTenant;
     iolite::Aggregate agg;
     ReadCallback done;
     uint32_t next_free = UINT32_MAX;

@@ -35,7 +35,10 @@ void FlashServer::StartRequest(RequestContext* req) {
         req->conn->ReceiveRequest(kRequestBytes);
       },
       [this, req] {
-        // Stage 2: cache lookup; a miss occupies the disk arm.
+        // Stage 2: cache lookup; a miss occupies the disk arm. Stamp the
+        // owning tenant first — this continuation fires from the CPU
+        // resource, not from the request's own context.
+        ctx_->set_active_tenant(req->tenant);
         uint64_t size = io_->fs().SizeOf(req->file);
         io_->ReadExtentAsync(
             req->file, 0, size,
@@ -72,6 +75,7 @@ void SendfileServer::StartRequest(RequestContext* req) {
         ctx_->stats().syscalls++;
       },
       [this, req] {
+        ctx_->set_active_tenant(req->tenant);
         uint64_t size = io_->fs().SizeOf(req->file);
         io_->ReadExtentAsync(
             req->file, 0, size,
@@ -132,6 +136,7 @@ void FlashLiteServer::StartRequest(RequestContext* req) {
       [this, req] {
         // IOL_read: an aggregate referencing the cache's immutable buffers;
         // a miss occupies the disk arm before the request continues.
+        ctx_->set_active_tenant(req->tenant);
         uint64_t size = io_->fs().SizeOf(req->file);
         io_->ReadExtentAsync(
             req->file, 0, size,

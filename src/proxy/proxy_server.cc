@@ -221,6 +221,9 @@ void ProxyServer::StartOriginFetch(uint32_t idx) {
   node.bh_req.file = node.req->file;
   node.bh_req.response_bytes = 0;
   node.bh_req.cache_hit = false;
+  // The origin transaction runs on behalf of the client request's tenant:
+  // backhaul link shares and origin-cache fills stay attributed.
+  node.bh_req.tenant = node.req->tenant;
   node.bh_req.on_done = [this, idx](iolhttp::RequestContext*) { OnFetchDone(idx); };
   origins_[origin]->StartRequest(&node.bh_req);
 }

@@ -1,0 +1,129 @@
+#include "src/qos/policy.h"
+
+namespace iolqos {
+
+namespace {
+const CacheCounters kZeroCounters;
+}  // namespace
+
+QosPolicy::QosPolicy() = default;
+QosPolicy::~QosPolicy() = default;
+
+TenantId QosPolicy::Register(std::string name, uint32_t weight) {
+  TenantId t = registry_.Register(std::move(name), weight);
+  for (std::unique_ptr<FairScheduler>& s : schedulers_) {
+    s->queue().SetWeight(t, weight);
+  }
+  return t;
+}
+
+void QosPolicy::SetWeight(TenantId t, uint32_t weight) {
+  registry_.set_weight(t, weight);
+  for (std::unique_ptr<FairScheduler>& s : schedulers_) {
+    s->queue().SetWeight(t, registry_.weight(t));
+  }
+}
+
+FairScheduler* QosPolicy::AttachFairQueue(iolsim::SimContext* ctx,
+                                          iolsim::Resource* resource) {
+  schedulers_.push_back(std::make_unique<FairScheduler>(ctx, resource));
+  FairScheduler* s = schedulers_.back().get();
+  for (TenantId t = 0; t < registry_.size(); ++t) {
+    s->queue().SetWeight(t, registry_.weight(t));
+  }
+  s->queue().set_max_wait(starvation_bound_);
+  return s;
+}
+
+void QosPolicy::AttachWfq(iolsim::SimContext* ctx) {
+  AttachFairQueue(ctx, &ctx->cpu());
+  AttachFairQueue(ctx, &ctx->disk());
+  AttachFairQueue(ctx, &ctx->link());
+  ctx->set_qos(this);
+}
+
+void QosPolicy::SetStarvationBound(iolsim::SimTime max_wait) {
+  starvation_bound_ = max_wait;
+  for (std::unique_ptr<FairScheduler>& s : schedulers_) {
+    s->queue().set_max_wait(max_wait);
+  }
+}
+
+uint64_t QosPolicy::promotions() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<FairScheduler>& s : schedulers_) {
+    total += s->queue().promotions();
+  }
+  return total;
+}
+
+void QosPolicy::SetThrottle(TenantId t, double tokens_per_sec, double burst_tokens) {
+  if (t >= throttles_.size()) {
+    throttles_.resize(t + 1);
+  }
+  throttles_[t] = std::make_unique<TokenBucket>(tokens_per_sec, burst_tokens);
+}
+
+iolsim::SimTime QosPolicy::OnAdmit(TenantId t, iolsim::SimTime now) {
+  iolsim::SimTime delay = 0;
+  if (t < throttles_.size() && throttles_[t] != nullptr) {
+    delay = throttles_[t]->ReserveAt(now) - now;
+  }
+  for (StageHook* hook : hooks_) {
+    iolsim::SimTime d = hook->OnAdmit(t, now);
+    if (d > delay) {
+      delay = d;
+    }
+  }
+  if (delay > 0) {
+    ++admit_delays_;
+  }
+  return delay;
+}
+
+void QosPolicy::OnCacheLookup(TenantId t, bool hit, bool proxy_tier,
+                              iolsim::SimTime now) {
+  CacheCounters& c = MutableCounters(t, proxy_tier);
+  if (hit) {
+    ++c.hits;
+  } else {
+    ++c.misses;
+  }
+  for (StageHook* hook : hooks_) {
+    hook->OnCacheLookup(t, hit, proxy_tier, now);
+  }
+}
+
+iolsim::SimTime QosPolicy::OnTransmit(TenantId t, uint64_t bytes,
+                                      iolsim::SimTime now) {
+  iolsim::SimTime delay = 0;
+  for (StageHook* hook : hooks_) {
+    iolsim::SimTime d = hook->OnTransmit(t, bytes, now);
+    if (d > delay) {
+      delay = d;
+    }
+  }
+  if (delay > 0) {
+    ++transmit_delays_;
+  }
+  return delay;
+}
+
+void QosPolicy::OnCacheEviction(TenantId t, bool proxy_tier) {
+  ++MutableCounters(t, proxy_tier).evictions;
+}
+
+const CacheCounters& QosPolicy::cache_counters(TenantId t, bool proxy_tier) const {
+  const std::vector<CacheCounters>& v = proxy_tier ? proxy_counters_ : unified_counters_;
+  return t < v.size() ? v[t] : kZeroCounters;
+}
+
+CacheCounters& QosPolicy::MutableCounters(TenantId t, bool proxy_tier) {
+  std::vector<CacheCounters>& v = proxy_tier ? proxy_counters_ : unified_counters_;
+  if (t >= v.size()) {
+    v.resize(t + 1);
+  }
+  return v[t];
+}
+
+}  // namespace iolqos

@@ -1,0 +1,189 @@
+// QosPolicy: the per-machine policy plane tying tenants, fair schedulers,
+// stage hooks, throttles, and per-tenant cache accounting together.
+//
+// The engine (src/driver/experiment.cc) consults the policy at three PAIO
+// -style stage-hook points as a request flows through the pipeline:
+//
+//   on_admit         fleet front door, before the balancer — may delay the
+//                    request (token-bucket throttling) or retag it
+//   on_cache_lookup  every unified/proxy cache probe — per-tenant hit/miss
+//                    accounting, observation hooks
+//   on_transmit      response entering the link stage — may delay or
+//                    reprioritize (e.g. demote a tenant mid-run)
+//
+// Weighted fair sharing on CPU/disk/link attaches separately via
+// AttachWfq(ctx): one FairScheduler per resource, all reading this policy's
+// tenant weights. Cache partitioning attaches via FileCache::SetPartitions
+// with this policy's CachePlan. Everything is optional and composable —
+// a SimContext with no policy attached runs the exact pre-QoS code paths.
+
+#ifndef SRC_QOS_POLICY_H_
+#define SRC_QOS_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/qos/fair_queue.h"
+#include "src/qos/tenant.h"
+#include "src/qos/token_bucket.h"
+#include "src/simos/sim_context.h"
+
+namespace iolqos {
+
+// Per-tenant cache accounting, one block per cache tier (unified / proxy).
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+  }
+};
+
+// A programmable stage hook. Register with QosPolicy::AddHook; the policy
+// fans each stage event out to every hook. Hooks returning a positive delay
+// from OnAdmit/OnTransmit stall that request (the policy takes the max over
+// hooks, so independent rate limiters compose as the tightest one).
+class StageHook {
+ public:
+  virtual ~StageHook() = default;
+  virtual const char* name() const = 0;
+
+  // Request at the fleet front door. Return how long to delay admission
+  // (0 = admit now).
+  virtual iolsim::SimTime OnAdmit(TenantId t, iolsim::SimTime now) {
+    (void)t;
+    (void)now;
+    return 0;
+  }
+
+  // A cache probed on behalf of `t`. `proxy_tier` distinguishes the proxy
+  // cache from the unified origin cache.
+  virtual void OnCacheLookup(TenantId t, bool hit, bool proxy_tier,
+                             iolsim::SimTime now) {
+    (void)t;
+    (void)hit;
+    (void)proxy_tier;
+    (void)now;
+  }
+
+  // Response entering transmission. Return how long to delay the transmit
+  // (0 = send now).
+  virtual iolsim::SimTime OnTransmit(TenantId t, uint64_t bytes,
+                                     iolsim::SimTime now) {
+    (void)t;
+    (void)bytes;
+    (void)now;
+    return 0;
+  }
+};
+
+// What the classifier sees for each request, at parse/issue time.
+struct ClassifyContext {
+  TenantId hint = kDefaultTenant;   // The workload's declared tenant.
+  int64_t file = -1;                // Requested file, when already pinned.
+  size_t client = 0;                // Issuing client (connection index).
+};
+
+class QosPolicy {
+ public:
+  using Classifier = std::function<TenantId(const ClassifyContext&)>;
+
+  QosPolicy();
+  ~QosPolicy();
+
+  QosPolicy(const QosPolicy&) = delete;
+  QosPolicy& operator=(const QosPolicy&) = delete;
+
+  // --- Tenants --------------------------------------------------------------
+
+  TenantRegistry& registry() { return registry_; }
+  const TenantRegistry& registry() const { return registry_; }
+
+  TenantId Register(std::string name, uint32_t weight = 1);
+
+  // Reprioritization: updates the registry and every attached fair queue.
+  void SetWeight(TenantId t, uint32_t weight);
+
+  // --- Classification -------------------------------------------------------
+
+  // Installs the parse-time classifier; default is identity on the hint.
+  void set_classifier(Classifier c) { classifier_ = std::move(c); }
+
+  TenantId Classify(const ClassifyContext& cc) const {
+    return classifier_ ? classifier_(cc) : cc.hint;
+  }
+
+  // --- Weighted fair sharing ------------------------------------------------
+
+  // Attaches a fair scheduler to one resource (weights seeded from the
+  // registry). The scheduler lives until the policy is destroyed.
+  FairScheduler* AttachFairQueue(iolsim::SimContext* ctx, iolsim::Resource* resource);
+
+  // Convenience: WFQ on the machine's CPU, disk, and link, and registers
+  // this policy on the context (ctx->qos()) so stage-hook sites find it.
+  void AttachWfq(iolsim::SimContext* ctx);
+
+  // Bounded-wait starvation guard applied to all attached fair queues
+  // (current and future). 0 disables.
+  void SetStarvationBound(iolsim::SimTime max_wait);
+
+  const std::vector<std::unique_ptr<FairScheduler>>& schedulers() const {
+    return schedulers_;
+  }
+
+  uint64_t promotions() const;  // Starvation-guard promotions, all queues.
+
+  // --- Throttling -----------------------------------------------------------
+
+  // Installs/replaces the built-in front-door token bucket for `t`
+  // (tokens = requests). Applied at on_admit, composing with hook delays.
+  void SetThrottle(TenantId t, double tokens_per_sec, double burst_tokens);
+
+  // --- Stage hooks ----------------------------------------------------------
+
+  // Registers an external hook (not owned; must outlive the policy).
+  void AddHook(StageHook* hook) { hooks_.push_back(hook); }
+
+  // Fired by the engine at the fleet front door. Returns the admission
+  // delay (max over throttle + hooks).
+  iolsim::SimTime OnAdmit(TenantId t, iolsim::SimTime now);
+
+  // Fired by FileCache on every probe when attached (see FileCache::
+  // AttachQos). Updates per-tenant counters, then notifies hooks.
+  void OnCacheLookup(TenantId t, bool hit, bool proxy_tier, iolsim::SimTime now);
+
+  // Fired by the HTTP server's transmit stage. Returns the transmit delay.
+  iolsim::SimTime OnTransmit(TenantId t, uint64_t bytes, iolsim::SimTime now);
+
+  // Fired by FileCache when an entry owned by `t` is evicted.
+  void OnCacheEviction(TenantId t, bool proxy_tier);
+
+  // --- Per-tenant accounting ------------------------------------------------
+
+  const CacheCounters& cache_counters(TenantId t, bool proxy_tier = false) const;
+  uint64_t admit_delays() const { return admit_delays_; }
+  uint64_t transmit_delays() const { return transmit_delays_; }
+
+ private:
+  CacheCounters& MutableCounters(TenantId t, bool proxy_tier);
+
+  TenantRegistry registry_;
+  Classifier classifier_;
+  std::vector<std::unique_ptr<FairScheduler>> schedulers_;
+  std::vector<StageHook*> hooks_;
+  std::vector<std::unique_ptr<TokenBucket>> throttles_;  // By tenant; null = none.
+  std::vector<CacheCounters> unified_counters_;
+  std::vector<CacheCounters> proxy_counters_;
+  iolsim::SimTime starvation_bound_ = 0;
+  uint64_t admit_delays_ = 0;
+  uint64_t transmit_delays_ = 0;
+};
+
+}  // namespace iolqos
+
+#endif  // SRC_QOS_POLICY_H_

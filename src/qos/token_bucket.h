@@ -1,0 +1,71 @@
+// Deterministic token-bucket rate limiter (GCRA virtual-scheduling form).
+//
+// Instead of materializing a fractional token count that refills over time,
+// the bucket tracks a single theoretical arrival time (TAT) in integer
+// nanoseconds: each grant advances the TAT by the token period, and a
+// request is eligible as soon as `TAT - burst allowance` has passed. This
+// is the classic equivalence of token buckets and the generic cell rate
+// algorithm — pure int64 arithmetic, so a replayed request sequence grants
+// byte-identical timestamps on every run and platform (the run-twice parity
+// property tested in tests/qos_test.cc).
+
+#ifndef SRC_QOS_TOKEN_BUCKET_H_
+#define SRC_QOS_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "src/simos/clock.h"
+
+namespace iolqos {
+
+class TokenBucket {
+ public:
+  // `tokens_per_sec` is the sustained rate; `burst_tokens` how many grants
+  // may pass back-to-back after a long idle period (>= 1).
+  TokenBucket(double tokens_per_sec, double burst_tokens)
+      : period_(PeriodNs(tokens_per_sec)),
+        tau_(static_cast<iolsim::SimTime>(
+            (burst_tokens > 1.0 ? burst_tokens - 1.0 : 0.0) *
+            static_cast<double>(PeriodNs(tokens_per_sec)))) {}
+
+  // Reserves `cost` tokens for a request arriving at `now` and returns the
+  // instant the tokens are available (== now when within rate/burst). Calls
+  // must be made with non-decreasing `now`; grants are monotone in call
+  // order, so a caller delays admission by (grant - now).
+  iolsim::SimTime ReserveAt(iolsim::SimTime now, uint32_t cost = 1) {
+    iolsim::SimTime eligible = tat_ - tau_;
+    iolsim::SimTime grant = eligible > now ? eligible : now;
+    iolsim::SimTime base = tat_ > grant ? tat_ : grant;
+    tat_ = base + period_ * static_cast<iolsim::SimTime>(cost);
+    return grant;
+  }
+
+  // Probe without consuming: when would a request arriving at `now` be
+  // admitted?
+  iolsim::SimTime PeekAt(iolsim::SimTime now) const {
+    iolsim::SimTime eligible = tat_ - tau_;
+    return eligible > now ? eligible : now;
+  }
+
+  iolsim::SimTime period() const { return period_; }
+
+  void Reset() { tat_ = 0; }
+
+ private:
+  static iolsim::SimTime PeriodNs(double tokens_per_sec) {
+    if (tokens_per_sec <= 0.0) {
+      return 1;
+    }
+    double ns = 1e9 / tokens_per_sec;
+    iolsim::SimTime p = static_cast<iolsim::SimTime>(ns);
+    return p > 0 ? p : 1;
+  }
+
+  iolsim::SimTime period_;  // ns between sustained grants (1/rate).
+  iolsim::SimTime tau_;     // Burst allowance: (burst - 1) periods.
+  iolsim::SimTime tat_ = 0;
+};
+
+}  // namespace iolqos
+
+#endif  // SRC_QOS_TOKEN_BUCKET_H_

@@ -14,6 +14,11 @@ namespace iolsim {
 // Duration and time-point type, in nanoseconds of simulated time.
 using SimTime = int64_t;
 
+// Tenant identity for the multi-tenant QoS plane (src/qos). Tenant 0 is the
+// implicit default tenant; single-tenant workloads never see another value.
+using TenantId = uint32_t;
+constexpr TenantId kDefaultTenant = 0;
+
 constexpr SimTime kNanosecond = 1;
 constexpr SimTime kMicrosecond = 1000 * kNanosecond;
 constexpr SimTime kMillisecond = 1000 * kMicrosecond;

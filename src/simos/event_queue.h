@@ -546,6 +546,25 @@ class EventQueue {
   uint64_t cal_gap_n_ = 0;
 };
 
+class Resource;
+
+// Admission hook for the multi-tenant QoS plane (src/qos). When a scheduler
+// is attached to a Resource, asynchronous acquisitions are handed to it
+// instead of being reserved immediately: the scheduler queues the work under
+// its own discipline (e.g. per-tenant start-time fair queueing) and performs
+// the actual unit reservation only when it dispatches the job. Synchronous
+// Acquire/AcquireAfter calls bypass the scheduler — direct-mode callers own
+// the machine and have no peers to share with.
+class ResourceScheduler {
+ public:
+  virtual ~ResourceScheduler() = default;
+
+  // Takes ownership of one asynchronous acquisition: `done` must eventually
+  // run on `events` at the job's completion time, exactly once.
+  virtual void Admit(Resource* resource, EventQueue* events, SimTime service,
+                     InlineCallback done) = 0;
+};
+
 // A FIFO service resource (CPU, disk arm, network link) with one or more
 // identical service units (an N-way CPU is Resource(clock, N)).
 //
@@ -593,11 +612,25 @@ class Resource {
   // now and schedules `done` on `events` at the completion time. FIFO
   // fairness follows from reservation-at-call order; simultaneous
   // completions dispatch in schedule order (EventQueue seq numbers).
+  //
+  // With a ResourceScheduler attached the acquisition is queued under the
+  // scheduler's discipline instead, and the completion time is unknown
+  // until it dispatches — the return value is 0 in that case (no async
+  // call site consumes it).
   SimTime AcquireAsync(EventQueue* events, SimTime service, InlineCallback done) {
+    if (scheduler_ != nullptr) {
+      scheduler_->Admit(this, events, service, std::move(done));
+      return 0;
+    }
     SimTime finish = Acquire(service);
     events->ScheduleAt(finish, std::move(done));
     return finish;
   }
+
+  // QoS hook (src/qos): routes AcquireAsync through `scheduler`; null
+  // restores the plain reservation-at-call FIFO semantics.
+  void set_scheduler(ResourceScheduler* scheduler) { scheduler_ = scheduler; }
+  ResourceScheduler* scheduler() const { return scheduler_; }
 
   // Time at which some unit next becomes free.
   SimTime available_at() const { return unit_free_at_[BestUnit()]; }
@@ -663,6 +696,7 @@ class Resource {
   std::vector<SimTime> unit_free_at_;
   std::vector<uint32_t> heap_;  // Unit indices, min-heap by (free time, index).
   SimTime busy_ = 0;
+  ResourceScheduler* scheduler_ = nullptr;
 };
 
 // Pooled two-hop acquisition: reserve `first` for `s1`, and at its

@@ -24,6 +24,10 @@
 #include "src/simos/stats.h"
 #include "src/simos/vm.h"
 
+namespace iolqos {
+class QosPolicy;
+}  // namespace iolqos
+
 namespace iolsim {
 
 // Accumulated demand of one logical task (e.g. one HTTP request).
@@ -106,6 +110,19 @@ class SimContext {
 
   bool tally_active() const { return tally_ != nullptr; }
 
+  // The tenant on whose behalf the machine is currently working. The QoS
+  // plane's fair schedulers restore this before running each dispatched
+  // continuation, so downstream stages (disk reads, cache inserts, per-MSS
+  // transmits) attribute their demand to the right tenant without
+  // per-callsite plumbing. Stays kDefaultTenant in single-tenant runs.
+  TenantId active_tenant() const { return active_tenant_; }
+  void set_active_tenant(TenantId t) { active_tenant_ = t; }
+
+  // The attached QoS policy plane, if any (owned by the experiment
+  // composition, not the context). Stage-hook sites test this for null.
+  iolqos::QosPolicy* qos() const { return qos_; }
+  void set_qos(iolqos::QosPolicy* qos) { qos_ = qos; }
+
  private:
   VirtualClock clock_;
   CostModel cost_;
@@ -118,6 +135,8 @@ class SimContext {
   ResourceChain chain_;
   std::unique_ptr<VmSystem> vm_;
   Tally* tally_ = nullptr;
+  TenantId active_tenant_ = kDefaultTenant;
+  iolqos::QosPolicy* qos_ = nullptr;
 };
 
 // RAII helper for tally scopes.
