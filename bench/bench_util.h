@@ -122,6 +122,10 @@ class JsonReporter {
       row.wall_ms = result.wall_ms;
       row.events_per_sec =
           result.wall_ms > 0 ? result.events_dispatched / (result.wall_ms / 1000.0) : 0;
+      row.availability = result.availability;
+      row.error_rate = result.error_rate;
+      row.retries = result.retries;
+      row.goodput_mbps = result.goodput_mbps;
       row.tenants = result.tenants;
       rows_.push_back(std::move(row));
     }
@@ -144,15 +148,20 @@ class JsonReporter {
                  smoke_ ? "true" : "false");
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      // The per-tier proxy fields appear on every row (zeros outside proxy
-      // experiments) so one schema covers every BENCH_*.json.
+      // The per-tier proxy fields and the fault-plane fields appear on
+      // every row (zeros / 1.0 outside their experiments) so one schema
+      // covers every BENCH_*.json.
       std::fprintf(f,
                    "%s\n  {\"series\": \"%s\", \"x\": %.6g, \"value\": %.6g, "
                    "\"proxy_hit_rate\": %.6g, \"origin_hit_rate\": %.6g, "
-                   "\"bytes_copied_backhaul\": %llu",
+                   "\"bytes_copied_backhaul\": %llu, "
+                   "\"availability\": %.8g, \"error_rate\": %.8g, "
+                   "\"retries\": %llu, \"goodput_mbps\": %.6g",
                    i == 0 ? "" : ",", r.series.c_str(), r.x, r.value, r.proxy_hit_rate,
                    r.origin_hit_rate,
-                   static_cast<unsigned long long>(r.bytes_copied_backhaul));
+                   static_cast<unsigned long long>(r.bytes_copied_backhaul),
+                   r.availability, r.error_rate,
+                   static_cast<unsigned long long>(r.retries), r.goodput_mbps);
       if (r.has_latency) {
         std::fprintf(f,
                      ", \"requests\": %llu, \"cache_hit_rate\": %.6g, \"p50_ms\": %.6g, "
@@ -206,6 +215,10 @@ class JsonReporter {
     double origin_p99_ms = 0;
     double wall_ms = 0;
     double events_per_sec = 0;
+    double availability = 1.0;
+    double error_rate = 0;
+    uint64_t retries = 0;
+    double goodput_mbps = 0;
     std::vector<ioldrv::TenantBreakdown> tenants;
   };
   std::string figure_;

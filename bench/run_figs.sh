@@ -41,6 +41,8 @@ for bin in "$build_dir"/bench_fig* "$build_dir"/bench_sweep_* "$build_dir"/bench
       short="shard_scaling" ;;
     bench_fig_tenant_isolation)
       short="tenant_isolation" ;;
+    bench_fig_fault_tolerance)
+      short="fault_tolerance" ;;
     *)
       short=${name#bench_} ;;
   esac
@@ -174,4 +176,29 @@ if [ -f "$f" ]; then
     exit 1
   fi
   echo "== schema check ok: $f rows carry per-tenant breakdowns"
+fi
+
+# Fault-tolerance schema check: every row must carry the recovery accounting
+# (availability / error_rate / retries / goodput), the policy lattice must be
+# complete, and the fault-free baseline must report 100% availability. (The
+# bench itself exits non-zero if an acceptance gate fails on a full run.)
+f="$out_dir/BENCH_fault_tolerance.json"
+if [ -f "$f" ]; then
+  for field in availability error_rate retries goodput_mbps; do
+    if ! grep -q "\"$field\": " "$f"; then
+      echo "schema check failed: no $field fields in $f" >&2
+      exit 1
+    fi
+  done
+  for series in fault-free unprotected retry retry+hedge retry+hedge+health; do
+    if ! grep -q "\"series\": \"$series\"" "$f"; then
+      echo "schema check failed: missing series $series in $f" >&2
+      exit 1
+    fi
+  done
+  if grep '"series": "fault-free"' "$f" | grep -qv '"availability": 1[,}]'; then
+    echo "schema check failed: the fault-free baseline lost requests in $f" >&2
+    exit 1
+  fi
+  echo "== schema check ok: $f rows carry recovery accounting"
 fi

@@ -44,6 +44,7 @@ COUNTER_NAMES = [
     "requests_served", "cache_hits", "cache_misses", "bytes_served",
     "bytes_copied_cross_process", "bytes_filled_origin", "origin_fills",
     "cgi_requests", "future_errors", "queue_full_yields", "map_evictions",
+    "worker_abnormal_exits", "worker_respawns", "pins_swept",
 ]
 
 FUTURE_STATE_NAMES = {0: "free", 1: "pending", 2: "ready", 3: "error", 4: "writing"}

@@ -100,6 +100,36 @@ ExperimentResult Experiment::Run(Workload* workload, RequestSource next_file,
           ? workload_->pipeline_depth()
           : 1;
 
+  fault_on_ = config_.faults != nullptr && !config_.faults->empty();
+  recovery_on_ = config_.recovery.enabled();
+  health_on_ = recovery_on_ && config_.recovery.health_checks;
+  if (fault_on_ && config_.faults->has_member_crashes() && !recovery_on_) {
+    // A request routed to a crashed member is black-holed; without the
+    // timeout there is nothing to reclaim it and the run hangs. Die loudly.
+    std::fprintf(stderr,
+                 "Experiment: a FaultPlan with member crashes requires "
+                 "recovery.request_timeout > 0\n");
+    std::abort();
+  }
+  if (recovery_on_ && pipeline_depth_ > 1) {
+    std::fprintf(stderr,
+                 "Experiment: the recovery plane requires pipeline depth 1 "
+                 "(an abandoned attempt's connection is dead)\n");
+    std::abort();
+  }
+  if (recovery_on_) {
+    ejected_.assign(fleet_.size(), 0);
+    probe_bad_.assign(fleet_.size(), 0);
+    probe_good_.assign(fleet_.size(), 0);
+    if (health_on_) {
+      ctx_->events().ScheduleAfter(config_.recovery.health_check_interval,
+                                   [this] { RunHealthProbe(); });
+    }
+  }
+  if (fault_on_) {
+    ArmFaults();
+  }
+
   int clients = workload_->initial_clients();
   for (int i = 0; i < clients; ++i) {
     AddConnection();
@@ -156,6 +186,23 @@ ExperimentResult Experiment::Run(Workload* workload, RequestSource next_file,
   result.latency = telemetry_->EndToEndLatency(record_base);
   result.cache_hit_fraction = telemetry_->CacheHitFraction(record_base);
   result.per_server = share_;
+
+  // Fault-plane accounting. Failed requests count toward `requests` (the
+  // run is N logical outcomes) but contributed no bytes, so goodput is the
+  // delivered-bytes rate and equals megabits_per_sec by construction.
+  if (counted_requests_ > 0) {
+    result.availability = 1.0 - static_cast<double>(failed_counted_) /
+                                    static_cast<double>(counted_requests_);
+    result.error_rate = static_cast<double>(failed_counted_) /
+                        static_cast<double>(counted_requests_);
+  }
+  result.goodput_mbps = result.megabits_per_sec;
+  result.retries = retries_total_;
+  result.hedges = hedges_total_;
+  result.failed_requests = failed_counted_;
+  result.response_drops = response_drops_;
+  result.blackholed_arrivals = blackholed_;
+  result.health_ejections = health_ejections_;
 
   // Per-tenant breakdown: filled for multi-tenant streams or whenever a
   // policy plane is attached; single-tenant pre-QoS runs leave it empty so
@@ -256,6 +303,23 @@ void Experiment::IssueRequest(size_t lane) {
   } else {
     l.req.tenant = hint;
   }
+  if (recovery_on_) {
+    // A fresh flight: this lane is its owner.
+    l.flight_owner = kNoLane;
+    l.hedge_lane = kNoLane;
+    l.zombie = false;
+    l.limbo = false;
+    l.attempts = 1;
+    l.retries_used = 0;
+    // Resolve the file now (not at serve time): a retry or hedge of this
+    // flight must request the SAME file, and the shared RequestSource
+    // would hand each attempt a different one.
+    if (!l.has_pinned_file && next_file_ != nullptr) {
+      l.pinned_file = next_file_();
+      l.has_pinned_file = true;
+    }
+    ArmFlightTimers(lane, 0);
+  }
   // Request propagation to the fleet.
   ctx_->events().ScheduleAfter(config_.delay.one_way_delay,
                                [this, lane] { ArriveAtFleet(lane); });
@@ -263,6 +327,10 @@ void Experiment::IssueRequest(size_t lane) {
 
 void Experiment::ArriveAtFleet(size_t lane) {
   if (done_) {
+    return;
+  }
+  if (recovery_on_ && lanes_[lane].zombie) {
+    RecycleLane(lane);  // The flight moved on while this attempt was in flight.
     return;
   }
   if (config_.qos != nullptr) {
@@ -283,6 +351,10 @@ void Experiment::AdmitToFleet(size_t lane) {
     return;
   }
   Lane& l = lanes_[lane];
+  if (recovery_on_ && l.zombie) {
+    RecycleLane(lane);  // Abandoned during the QoS front-door hold.
+    return;
+  }
   if (fleet_.size() == 1) {
     // Degenerate fleet (every classic experiment): there is nothing to
     // balance, skip the load snapshot and the balancer virtual call.
@@ -292,9 +364,35 @@ void Experiment::AdmitToFleet(size_t lane) {
     // in its accept queue. (load_scratch_ is a member: one arrival per
     // event, and reusing it keeps the per-arrival hot path allocation-free.)
     for (size_t s = 0; s < fleet_.size(); ++s) {
-      load_scratch_[s] = in_service_per_[s] + static_cast<int>(accept_queues_[s].size());
+      load_scratch_[s] =
+          health_on_ && ejected_[s] != 0
+              ? kEjected
+              : in_service_per_[s] + static_cast<int>(accept_queues_[s].size());
     }
     l.server = fleet_.PickServer(load_scratch_);
+    if (recovery_on_ && l.flight_owner != kNoLane) {
+      // A hedged duplicate is pointless on the member the primary is
+      // already waiting on; steer it to the next non-ejected member.
+      size_t primary = lanes_[l.flight_owner].server;
+      if (l.server == primary) {
+        for (size_t i = 1; i < fleet_.size(); ++i) {
+          size_t c = (l.server + i) % fleet_.size();
+          if (health_on_ && ejected_[c] != 0) {
+            continue;
+          }
+          l.server = c;
+          break;
+        }
+      }
+    }
+  }
+  if (fault_on_ && fleet_.server(l.server)->down()) {
+    // A dead member answers nothing — not even a RST. The lane goes to
+    // limbo (no continuation holds it) until the flight's timeout reclaims
+    // it. Crash plans without recovery were rejected at Run start.
+    l.limbo = true;
+    ++blackholed_;
+    return;
   }
   if (config_.max_concurrent > 0 && in_service_per_[l.server] >= config_.max_concurrent) {
     // At capacity: the connection waits in the accept queue (never dropped).
@@ -319,6 +417,11 @@ void Experiment::ServeRequest(size_t lane) {
   l.req.file = l.has_pinned_file ? l.pinned_file : next_file_();
   l.req.response_bytes = 0;
   l.req.cache_hit = false;
+  if (fault_on_) {
+    // Captured so a crash between now and pipeline completion is
+    // detectable at OnServerDone (the response dies with the process).
+    l.serve_epoch = fleet_.server(l.server)->crash_epoch();
+  }
   // The serve runs as its tenant: the fair schedulers and the cache's
   // per-tenant accounting read the context's active tenant from here on
   // (a plain store; stays kDefaultTenant in single-tenant runs).
@@ -352,10 +455,24 @@ void Experiment::OnServerDone(size_t lane) {
   }
   --in_service_;
   --in_service_per_[l.server];
-  if (!accept_queues_[l.server].empty()) {
-    size_t waiting = accept_queues_[l.server].front();
-    accept_queues_[l.server].pop_front();
-    ServeRequest(waiting);
+  iolhttp::HttpServer* srv = fleet_.server(l.server);
+  if (!fault_on_ || !srv->down()) {
+    DrainAcceptQueue(l.server);
+  }
+  if (fault_on_ &&
+      (srv->down() || l.serve_epoch != srv->crash_epoch())) {
+    // The member crashed after this serve began (or is still down): the
+    // process died holding the connection, so the response is dropped on
+    // the floor. The flight's timeout handles recovery.
+    ++response_drops_;
+    if (recovery_on_) {
+      if (l.zombie) {
+        RecycleLane(lane);  // Already abandoned; nothing else holds it.
+      } else {
+        l.limbo = true;  // Hand the lane to the flight's timeout.
+      }
+    }
+    return;
   }
 
   // Response propagation, plus one handshake round trip for nonpersistent
@@ -387,11 +504,33 @@ void Experiment::OnServerDone(size_t lane) {
   }
 }
 
+void Experiment::DrainAcceptQueue(size_t s) {
+  while (!accept_queues_[s].empty() &&
+         (config_.max_concurrent == 0 ||
+          in_service_per_[s] < config_.max_concurrent)) {
+    size_t waiting = accept_queues_[s].front();
+    accept_queues_[s].pop_front();
+    if (recovery_on_ && lanes_[waiting].zombie) {
+      RecycleLane(waiting);  // Timed out while queued; serve the next waiter.
+      continue;
+    }
+    ServeRequest(waiting);
+  }
+}
+
 void Experiment::OnClientReceive(size_t lane, size_t bytes) {
   if (done_) {
     return;
   }
   Lane& l = lanes_[lane];
+  if (recovery_on_) {
+    if (l.zombie) {
+      RecycleLane(lane);  // A losing attempt's response arrives: swallow it.
+      return;
+    }
+    DeliverFlight(lane, bytes);
+    return;
+  }
   ++completed_;
   l.record.complete = ctx_->clock().now();
   l.record.bytes = bytes;
@@ -418,6 +557,327 @@ void Experiment::OnClientReceive(size_t lane, size_t bytes) {
     IssueRequest(lane);
   } else {
     free_lanes_.push_back(lane);
+  }
+}
+
+// --- Fault plane (src/fault) ------------------------------------------------
+
+void Experiment::ArmFaults() {
+  for (const iolfault::FaultEvent& e : config_.faults->events()) {
+    switch (e.kind) {
+      case iolfault::FaultKind::kMemberCrash: {
+        size_t m = static_cast<size_t>(e.target) % fleet_.size();
+        bool cold = e.cold_cache;
+        ctx_->events().ScheduleAt(e.at, [this, m] { CrashMember(m); });
+        ctx_->events().ScheduleAt(e.at + e.duration,
+                                  [this, m, cold] { RestartMember(m, cold); });
+        break;
+      }
+      case iolfault::FaultKind::kDiskFailSlow:
+        ctx_->disk().AddSlowWindow(e.at, e.at + e.duration, e.slow_num,
+                                   e.slow_den);
+        break;
+      case iolfault::FaultKind::kDiskFailStop:
+        ctx_->disk().AddOutageWindow(e.at, e.at + e.duration);
+        break;
+      case iolfault::FaultKind::kLinkOutage:
+        ctx_->link().AddOutageWindow(e.at, e.at + e.duration);
+        break;
+      case iolfault::FaultKind::kBackhaulFlap:
+        // Not this layer's fault to arm: the engine has no proxy handle.
+        // See iolproxy::ProxyServer::ArmBackhaulFaults.
+        break;
+    }
+  }
+}
+
+void Experiment::CrashMember(size_t m) {
+  if (done_) {
+    return;
+  }
+  // In-flight serves keep consuming their reserved resources (the machine
+  // is up; the process is gone), but their responses will fail the epoch
+  // check at OnServerDone and be dropped. New arrivals black-hole.
+  fleet_.server(m)->Crash();
+}
+
+void Experiment::RestartMember(size_t m, bool cold_cache) {
+  if (done_) {
+    return;
+  }
+  fleet_.server(m)->Restart();
+  if (cold_cache && cache_ != nullptr && fleet_.size() > 0) {
+    // The machine's unified cache survives a process crash, but the
+    // member's share of it — its working set, mappings, checksum state —
+    // does not. Evict 1/fleet of the cached bytes (all of them for a
+    // single-member fleet) so the restarted member starts cold.
+    uint64_t bytes = cache_->bytes();
+    uint64_t keep = bytes - bytes / fleet_.size();
+    cache_->EnforceBudget(keep);
+  }
+  // Serve connections that were accepted before the crash and waited out
+  // the downtime in the accept queue (their clients may have given up:
+  // zombie entries are recycled by the drain).
+  DrainAcceptQueue(m);
+}
+
+void Experiment::RunHealthProbe() {
+  if (done_) {
+    return;
+  }
+  for (size_t s = 0; s < fleet_.size(); ++s) {
+    bool up = !fault_on_ || !fleet_.server(s)->down();
+    if (up) {
+      probe_bad_[s] = 0;
+      ++probe_good_[s];
+      if (ejected_[s] != 0 &&
+          probe_good_[s] >= config_.recovery.healthy_after) {
+        ejected_[s] = 0;  // Re-admitted.
+      }
+    } else {
+      probe_good_[s] = 0;
+      ++probe_bad_[s];
+      if (ejected_[s] == 0 &&
+          probe_bad_[s] >= config_.recovery.unhealthy_after) {
+        ejected_[s] = 1;
+        ++health_ejections_;
+      }
+    }
+  }
+  ctx_->events().ScheduleAfter(config_.recovery.health_check_interval,
+                               [this] { RunHealthProbe(); });
+}
+
+void Experiment::ArmFlightTimers(size_t lane, iolsim::SimTime extra_delay) {
+  Lane& l = lanes_[lane];
+  l.timeout_ev =
+      ctx_->events().ScheduleAfter(extra_delay + config_.recovery.request_timeout,
+                                   [this, lane] { OnRequestTimeout(lane); });
+  l.hedge_ev =
+      config_.recovery.hedge_delay > 0
+          ? ctx_->events().ScheduleAfter(
+                extra_delay + config_.recovery.hedge_delay,
+                [this, lane] { FireHedge(lane); })
+          : kNoEvent;
+}
+
+void Experiment::CancelFlightTimers(size_t lane) {
+  Lane& l = lanes_[lane];
+  if (l.timeout_ev != kNoEvent) {
+    ctx_->events().Cancel(l.timeout_ev);
+    l.timeout_ev = kNoEvent;
+  }
+  if (l.hedge_ev != kNoEvent) {
+    ctx_->events().Cancel(l.hedge_ev);
+    l.hedge_ev = kNoEvent;
+  }
+}
+
+size_t Experiment::AcquireAttemptLane() {
+  size_t lane;
+  if (!free_lanes_.empty()) {
+    lane = free_lanes_.back();
+    free_lanes_.pop_back();
+  } else {
+    AddConnection();
+    conn_state_.resize(conns_.size());
+    lane = AddLane(conns_.size() - 1);
+    UpdateSteadyMemory();
+  }
+  Lane& l = lanes_[lane];
+  l.flight_owner = kNoLane;
+  l.hedge_lane = kNoLane;
+  l.timeout_ev = kNoEvent;
+  l.hedge_ev = kNoEvent;
+  l.zombie = false;
+  l.limbo = false;
+  l.attempts = 1;
+  l.retries_used = 0;
+  return lane;
+}
+
+void Experiment::RecycleLane(size_t lane) {
+  Lane& l = lanes_[lane];
+  l.zombie = false;
+  l.limbo = false;
+  l.flight_owner = kNoLane;
+  l.hedge_lane = kNoLane;
+  // Recovery mode runs one lane per connection, so everything outstanding
+  // on this connection died with the attempt: fast-forward the delivery
+  // cursor past any sequence number whose response was dropped, or the
+  // lane's next use would park its response behind a hole forever.
+  ConnState& cs = conn_state_[l.conn_index];
+  cs.next_deliver = cs.next_issue;
+  cs.done_out_of_order.clear();
+  free_lanes_.push_back(lane);
+}
+
+void Experiment::AbandonAttempt(size_t lane) {
+  Lane& l = lanes_[lane];
+  l.zombie = true;
+  if (l.limbo) {
+    RecycleLane(lane);  // Nothing holds it; reclaim now.
+  }
+  // Otherwise exactly one pending continuation (arrival event, QoS hold,
+  // accept-queue slot, pipeline completion, or delivery event) still
+  // references the lane and will recycle it on sight of the zombie flag.
+}
+
+void Experiment::OnRequestTimeout(size_t lane) {
+  if (done_) {
+    return;
+  }
+  Lane& o = lanes_[lane];
+  o.timeout_ev = kNoEvent;  // It just fired.
+  if (o.hedge_ev != kNoEvent) {
+    ctx_->events().Cancel(o.hedge_ev);
+    o.hedge_ev = kNoEvent;
+  }
+  if (o.hedge_lane != kNoLane) {
+    AbandonAttempt(o.hedge_lane);
+    o.hedge_lane = kNoLane;
+  }
+  if (o.retries_used < config_.recovery.max_retries) {
+    // Retry on a fresh lane and connection (the old connection is dead if
+    // the member crashed, and busy if the member is merely slow), after a
+    // capped exponential backoff. The flight migrates: the new lane owns
+    // the record, the timers, and the closed-loop continuation.
+    ++retries_total_;
+    size_t r = AcquireAttemptLane();
+    Lane& rn = lanes_[r];
+    Lane& prev = lanes_[lane];  // Re-resolve: AcquireAttemptLane may grow lanes_.
+    rn.record = prev.record;    // Original issue time: latency spans retries.
+    rn.req.tenant = prev.req.tenant;  // The tenant tag survives the retry —
+                                      // a retry storm still pays its own
+                                      // way through the fair queue.
+    rn.has_pinned_file = prev.has_pinned_file;
+    rn.pinned_file = prev.pinned_file;
+    rn.server = prev.server;
+    rn.attempts = static_cast<uint8_t>(prev.attempts + 1);
+    rn.retries_used = static_cast<uint8_t>(prev.retries_used + 1);
+    rn.seq = conn_state_[rn.conn_index].next_issue++;
+    AbandonAttempt(lane);
+    iolsim::SimTime backoff = config_.recovery.retry_backoff;
+    for (int k = 1; k < rn.retries_used; ++k) {
+      backoff *= 2;
+      if (backoff >= config_.recovery.retry_backoff_cap) {
+        backoff = config_.recovery.retry_backoff_cap;
+        break;
+      }
+    }
+    if (backoff > config_.recovery.retry_backoff_cap) {
+      backoff = config_.recovery.retry_backoff_cap;
+    }
+    // The attempt's own timeout clock starts when the client reissues
+    // (after the backoff); the wire delay applies to the reissue too.
+    ArmFlightTimers(r, backoff);
+    ctx_->events().ScheduleAfter(backoff + config_.delay.one_way_delay,
+                                 [this, r] { ArriveAtFleet(r); });
+    return;
+  }
+  // Out of retries: the flight fails. Record the outcome — failed records
+  // count toward the stop condition but carry no bytes and no latency
+  // sample — and, closed loop, issue the client's next logical request on
+  // a fresh lane (this one may still be stuck in a pipeline).
+  ++completed_;
+  RequestRecord rec = o.record;
+  rec.complete = ctx_->clock().now();
+  rec.bytes = 0;
+  rec.server = o.server;
+  rec.tenant = o.req.tenant;
+  rec.outcome = config_.recovery.max_retries > 0 ? Outcome::kFailed
+                                                 : Outcome::kTimedOut;
+  rec.attempts = o.attempts;
+  rec.cache_hit = false;
+  rec.counted = completed_ > config_.warmup_requests;
+  telemetry_->Record(rec);
+  AbandonAttempt(lane);
+  if (!rec.counted) {
+    if (completed_ == config_.warmup_requests) {
+      count_start_ = ctx_->clock().now();
+    }
+  } else {
+    ++counted_requests_;
+    ++failed_counted_;
+    if (counted_requests_ >= config_.max_requests) {
+      done_ = true;
+      return;
+    }
+  }
+  if (workload_->closed_loop()) {
+    IssueRequest(AcquireAttemptLane());
+  }
+}
+
+void Experiment::FireHedge(size_t lane) {
+  if (done_) {
+    return;
+  }
+  Lane& o = lanes_[lane];
+  o.hedge_ev = kNoEvent;
+  if (o.zombie || o.hedge_lane != kNoLane) {
+    return;  // The flight moved on; a stale timer has nothing to hedge.
+  }
+  ++hedges_total_;
+  size_t h = AcquireAttemptLane();
+  Lane& hn = lanes_[h];
+  Lane& on = lanes_[lane];  // Re-resolve after possible growth.
+  hn.flight_owner = static_cast<uint32_t>(lane);
+  hn.req.tenant = on.req.tenant;
+  hn.has_pinned_file = on.has_pinned_file;
+  hn.pinned_file = on.pinned_file;
+  hn.seq = conn_state_[hn.conn_index].next_issue++;
+  on.hedge_lane = static_cast<uint32_t>(h);
+  ctx_->events().ScheduleAfter(config_.delay.one_way_delay,
+                               [this, h] { ArriveAtFleet(h); });
+}
+
+void Experiment::DeliverFlight(size_t lane, size_t bytes) {
+  Lane& x = lanes_[lane];
+  size_t owner_idx = x.flight_owner != kNoLane ? x.flight_owner : lane;
+  Lane& o = lanes_[owner_idx];
+  CancelFlightTimers(owner_idx);
+  if (owner_idx != lane) {
+    // The hedge won: the primary attempt is abandoned wherever it is.
+    AbandonAttempt(owner_idx);
+  } else if (o.hedge_lane != kNoLane) {
+    AbandonAttempt(o.hedge_lane);
+  }
+  ++completed_;
+  RequestRecord rec = o.record;
+  rec.complete = ctx_->clock().now();
+  rec.bytes = bytes;
+  rec.server = x.server;
+  rec.admit = x.record.admit;  // The winning attempt's admission.
+  rec.tenant = x.req.tenant;
+  rec.cache_hit = x.req.cache_hit;
+  rec.outcome = owner_idx != lane
+                    ? Outcome::kHedgeWon
+                    : (o.retries_used > 0 ? Outcome::kRetriedOk : Outcome::kOk);
+  rec.attempts = o.attempts;
+  rec.counted = completed_ > config_.warmup_requests;
+  telemetry_->Record(rec);
+  // This lane carries the client forward; sever any flight linkage.
+  x.flight_owner = kNoLane;
+  x.hedge_lane = kNoLane;
+  if (!rec.counted) {
+    if (completed_ == config_.warmup_requests) {
+      count_start_ = ctx_->clock().now();
+    }
+  } else {
+    ++counted_requests_;
+    counted_bytes_ += bytes;
+    share_[x.server].requests++;
+    share_[x.server].bytes += bytes;
+    if (counted_requests_ >= config_.max_requests) {
+      done_ = true;
+      return;
+    }
+  }
+  if (workload_->closed_loop()) {
+    IssueRequest(lane);
+  } else {
+    RecycleLane(lane);
   }
 }
 

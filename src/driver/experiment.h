@@ -29,6 +29,8 @@
 #include "src/driver/fleet.h"
 #include "src/driver/telemetry.h"
 #include "src/driver/workload.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/recovery.h"
 #include "src/fs/file_cache.h"
 #include "src/httpd/http_server.h"
 #include "src/httpd/request_pipeline.h"
@@ -76,6 +78,21 @@ struct ExperimentConfig {
   // independent of enforce_cache_budget's memory-model budget). The
   // adversarial cache-pressure scenarios pin the budget explicitly.
   uint64_t cache_budget_bytes = 0;
+  // Deterministic fault plan (src/fault; classic Experiment only). The
+  // engine arms member crash/restart flips on the event queue and device
+  // degradation windows on the context's disk/link Resources before the
+  // run starts; backhaul flaps are armed by the proxy's owner instead (the
+  // engine has no proxy handle). Null — or an EMPTY plan — leaves every
+  // code path untouched: the golden determinism tests pin byte-identity.
+  // Not owned. A plan containing member crashes requires the recovery
+  // plane below (a black-holed request would otherwise hang the run).
+  const iolfault::FaultPlan* faults = nullptr;
+  // Recovery policy: per-request timeout, capped-backoff retries, hedged
+  // requests, health-check balancer ejection. Inert (and byte-identical to
+  // the pre-fault engine) unless recovery.enabled(). Recovery mode
+  // requires pipeline_depth == 1: an abandoned attempt's connection is
+  // dead, which is unrepresentable mid-pipeline.
+  iolfault::RecoveryConfig recovery;
 };
 
 // Per-member slice of the run (who served what, how concurrently).
@@ -152,6 +169,22 @@ struct ExperimentResult {
   // trajectory; simulated results must never depend on them.
   double wall_ms = 0;
   uint64_t events_dispatched = 0;
+
+  // Fault-plane accounting (src/fault), over the counted window. Fault-free
+  // runs report availability 1, error_rate 0, goodput == megabits_per_sec,
+  // and zeros elsewhere — JsonReporter emits the first four on every row so
+  // BENCH_*.json schemas stay uniform. goodput counts delivered bytes only;
+  // failed requests contribute requests (the denominator) but no bytes, so
+  // goodput < megabits-at-the-wire whenever work is wasted on lost serves.
+  double availability = 1.0;
+  double error_rate = 0.0;
+  uint64_t retries = 0;            // Retry attempts issued.
+  uint64_t hedges = 0;             // Hedged duplicates issued.
+  double goodput_mbps = 0;
+  uint64_t failed_requests = 0;    // Counted kTimedOut/kFailed outcomes.
+  uint64_t response_drops = 0;     // Responses lost to member crashes.
+  uint64_t blackholed_arrivals = 0;  // Arrivals routed to a down member.
+  uint64_t health_ejections = 0;   // Health-checker ejection transitions.
 };
 
 class Experiment {
@@ -197,6 +230,25 @@ class Experiment {
     iolfs::FileId pinned_file = iolfs::kInvalidFile;
     RequestRecord record;
     iolhttp::RequestContext req;
+
+    // --- Recovery plane (src/fault; untouched unless recovery.enabled()).
+    // A logical request is a "flight"; its state lives on the lane of the
+    // current primary attempt (the owner). Retries MIGRATE the flight to a
+    // fresh lane/connection; hedges spawn a parallel attempt lane pointing
+    // back at the owner via flight_owner. Every non-limbo lane is held by
+    // exactly one pending continuation (arrival event, QoS hold, accept
+    // queue slot, pipeline on_done, or delivery event), which is what
+    // recycles it once it goes zombie; limbo lanes are held by nothing and
+    // are reclaimed by the flight's timeout.
+    uint32_t flight_owner = kNoLane;  // Set on hedge attempts only.
+    uint32_t hedge_lane = kNoLane;    // Owner: outstanding hedge attempt.
+    iolsim::EventQueue::EventId timeout_ev = kNoEvent;  // Owner only.
+    iolsim::EventQueue::EventId hedge_ev = kNoEvent;    // Owner only.
+    uint32_t serve_epoch = 0;  // Member crash epoch at serve start.
+    uint8_t attempts = 1;      // Issues of this flight (1 + retries).
+    uint8_t retries_used = 0;
+    bool zombie = false;  // Abandoned attempt: swallow its completion, recycle.
+    bool limbo = false;   // No continuation holds this lane (black-holed).
   };
 
   // Per-connection pipelining state: responses are delivered to the client
@@ -209,6 +261,9 @@ class Experiment {
     // (lane, bytes).
     std::map<uint64_t, std::pair<size_t, size_t>> done_out_of_order;
   };
+
+  static constexpr uint32_t kNoLane = UINT32_MAX;
+  static constexpr iolsim::EventQueue::EventId kNoEvent = ~0ull;
 
   size_t AddLane(size_t conn_index);
   void AddConnection();
@@ -225,8 +280,28 @@ class Experiment {
   void ServeRequest(size_t lane);
   void OnServerDone(size_t lane);
   void OnClientReceive(size_t lane, size_t bytes);
+  // Serves queued waiters while the member has capacity (the per-completion
+  // pop, and the post-restart kick), skipping zombie entries.
+  void DrainAcceptQueue(size_t s);
   void ScheduleNextArrival();
   uint64_t CacheBudget() const;
+
+  // --- Fault plane (src/fault) ------------------------------------------
+  void ArmFaults();
+  void CrashMember(size_t m);
+  void RestartMember(size_t m, bool cold_cache);
+  void RunHealthProbe();
+  // Flight lifecycle (recovery mode only).
+  void ArmFlightTimers(size_t lane, iolsim::SimTime extra_delay);
+  void CancelFlightTimers(size_t lane);
+  void OnRequestTimeout(size_t lane);
+  void FireHedge(size_t lane);
+  void DeliverFlight(size_t lane, size_t bytes);
+  size_t AcquireAttemptLane();
+  void RecycleLane(size_t lane);
+  // Marks an attempt abandoned; reclaims it immediately when nothing holds
+  // it (limbo), else its pending continuation swallows and recycles it.
+  void AbandonAttempt(size_t lane);
 
   iolsim::SimContext* ctx_;
   iolnet::NetworkSubsystem* net_;
@@ -261,6 +336,21 @@ class Experiment {
   iolsim::SimTime count_start_ = 0;
   bool done_ = false;
   bool ran_ = false;
+
+  // Fault plane state. fault_on_/recovery_on_ gate every new branch on the
+  // hot paths; both false reproduces the pre-fault engine byte for byte.
+  bool fault_on_ = false;     // A non-empty plan is attached.
+  bool recovery_on_ = false;  // config_.recovery.enabled().
+  bool health_on_ = false;    // recovery_on_ && health_checks.
+  std::vector<uint8_t> ejected_;  // Health-checker verdict per member.
+  std::vector<int> probe_bad_;    // Consecutive failed probes.
+  std::vector<int> probe_good_;   // Consecutive good probes.
+  uint64_t retries_total_ = 0;
+  uint64_t hedges_total_ = 0;
+  uint64_t failed_counted_ = 0;
+  uint64_t response_drops_ = 0;
+  uint64_t blackholed_ = 0;
+  uint64_t health_ejections_ = 0;
 };
 
 }  // namespace ioldrv

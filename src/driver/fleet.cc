@@ -10,12 +10,24 @@ size_t LeastConnectionsBalancer::Pick(const std::vector<int>& load) {
     return 0;
   }
   size_t n = load.size();
-  size_t best = (last_ + 1) % n;
-  for (size_t i = 1; i < n; ++i) {
+  // Least-loaded among non-ejected members, ties scanning from the slot
+  // after the previous pick. kEjected is negative, so it would win every
+  // "least" comparison — exactly the black-hole-attraction pathology the
+  // health checker exists to prevent — hence the explicit skip. If every
+  // member is ejected, fall back to the plain scan (kEjected everywhere
+  // compares equal, so this degenerates to round-robin over a dead fleet).
+  size_t best = n;  // No eligible member seen yet.
+  for (size_t i = 0; i < n; ++i) {
     size_t candidate = (last_ + 1 + i) % n;
-    if (load[candidate] < load[best]) {
+    if (load[candidate] == kEjected) {
+      continue;
+    }
+    if (best == n || load[candidate] < load[best]) {
       best = candidate;
     }
+  }
+  if (best == n) {
+    best = (last_ + 1) % n;
   }
   last_ = best;
   return best;

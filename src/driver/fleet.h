@@ -19,12 +19,19 @@
 
 namespace ioldrv {
 
+// A member whose load reads kEjected has been ejected by the health checker
+// (fault plane, src/fault): balancers skip it. If every member is ejected,
+// balancers fall back to their normal pick — arrivals must go somewhere,
+// and a uniformly-dead fleet has no better choice.
+inline constexpr int kEjected = -1;
+
 class LoadBalancer {
  public:
   virtual ~LoadBalancer() = default;
   virtual const char* name() const = 0;
   // Picks the member for an arriving request; `load[i]` counts requests in
-  // service at or queued for member i. Must return an index < load.size().
+  // service at or queued for member i, or kEjected for a health-ejected
+  // member. Must return an index < load.size().
   virtual size_t Pick(const std::vector<int>& load) = 0;
 };
 
@@ -33,7 +40,16 @@ class RoundRobinBalancer : public LoadBalancer {
  public:
   const char* name() const override { return "round-robin"; }
   size_t Pick(const std::vector<int>& load) override {
-    return load.empty() ? 0 : next_++ % load.size();
+    if (load.empty()) {
+      return 0;
+    }
+    size_t n = load.size();
+    size_t pick = next_++ % n;
+    // Skip ejected members, at most one lap (all-ejected: keep the pick).
+    for (size_t i = 0; i < n && load[pick] == kEjected; ++i) {
+      pick = next_++ % n;
+    }
+    return pick;
   }
 
  private:

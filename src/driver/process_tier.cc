@@ -127,20 +127,36 @@ ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
 
   const iolipc::YieldFn sched = [] { sched_yield(); };
 
-  // Launch the fleet (no-op for the in-process pump).
+  // Launch the fleet (no-op for the in-process pump). Worker bodies take
+  // their slot id so supervision can respawn into the same PinLedger slot:
+  // proxies occupy ledger slots [0, P), origins [P, P+O).
   iolipc::WorkerGroup proxies;
   iolipc::WorkerGroup origins;
   iolipc::WorkerGroup cgis;
+  // Pin-crash injection arms only first-generation proxy 0: forked children
+  // inherit the flag's value at fork time, and the parent disarms it right
+  // after the initial Launch, so supervisor respawns come up healthy
+  // (otherwise the injection would re-fire in every replacement — a crash
+  // loop, not a drill). kProcesses only: a thread _Exit would take the
+  // whole harness down with it.
+  bool proxy_die_armed =
+      cfg.mode == iolipc::PlaneMode::kProcesses && cfg.proxy_die_after_pins > 0;
   if (cfg.mode != iolipc::PlaneMode::kInProcess) {
     bool launched =
         proxies.Launch(cfg.mode, cfg.proxy_workers,
-                       [&] {
-                         iolproxy::ProxyWorker w(&s, cfg.copy_data_path, cfg.fill_wait_us);
+                       [&](int slot) {
+                         uint32_t die = slot == 0 && proxy_die_armed
+                             ? static_cast<uint32_t>(cfg.proxy_die_after_pins)
+                             : 0;
+                         iolproxy::ProxyWorker w(&s, cfg.copy_data_path, cfg.fill_wait_us,
+                                                 static_cast<uint32_t>(slot), die);
                          w.Run(sched);
                        }) &&
         origins.Launch(cfg.mode, cfg.origin_workers,
-                       [&] {
-                         iolproxy::OriginWorker w(&s, cfg.docs, cfg.origin_cache_budget);
+                       [&](int slot) {
+                         iolproxy::OriginWorker w(
+                             &s, cfg.docs, cfg.origin_cache_budget,
+                             static_cast<uint32_t>(cfg.proxy_workers + slot));
                          w.Run(sched);
                        }) &&
         cgis.Launch(cfg.mode, cfg.cgi_workers, [&] {
@@ -156,7 +172,38 @@ ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
       cgis.JoinAll();
       return result;
     }
+    if (proxy_die_armed) {
+      proxy_die_armed = false;  // Initial forks done: respawns spawn healthy.
+    }
+    // Arm the death hooks: count the abnormal exit and sweep the dead
+    // worker's transient pin before its replacement is spawned.
+    auto arm_sweep = [&s](iolipc::WorkerGroup* g, int slot_base) {
+      g->set_on_death([&s, slot_base](int i) {
+        s.counters.Add(iolipc::kWorkerAbnormalExits, 1);
+        uint64_t t = s.pin_ledger.Take(static_cast<uint32_t>(slot_base + i));
+        if (t != 0) {
+          s.cache_map.Unpin(t - 1);
+          s.counters.Add(iolipc::kPinsSwept, 1);
+        }
+      });
+    };
+    arm_sweep(&proxies, 0);
+    arm_sweep(&origins, cfg.proxy_workers);
+    cgis.set_on_death(
+        [&s](int) { s.counters.Add(iolipc::kWorkerAbnormalExits, 1); });
   }
+
+  const bool supervising =
+      cfg.supervise && cfg.mode == iolipc::PlaneMode::kProcesses;
+  auto supervise_poll = [&] {
+    if (!supervising) {
+      return;
+    }
+    int n = proxies.Poll() + origins.Poll() + cgis.Poll();
+    if (n > 0) {
+      s.counters.Add(iolipc::kWorkerRespawns, static_cast<uint64_t>(n));
+    }
+  };
 
   // In-process pump: one instance of each role, yielded into each other.
   std::optional<iolproxy::ProxyWorker> pump_proxy;
@@ -182,12 +229,37 @@ ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
   uint64_t checksum = kFnvOffset;
   char expect_hdr[iolhttp::kResponseHeaderBytes];
 
+  auto submit = [&](Pending* p) {
+    iolipc::FutureHandle h;
+    while ((h = s.futures.Acquire()) == iolipc::kInvalidFuture) {
+      client_yield();
+    }
+    p->h = h;
+    iolipc::ClientRequestMsg msg{p->file_id, h, static_cast<uint32_t>(p->kind),
+                                 0, 0};
+    while (!s.client_q.PushAs(msg)) {
+      client_yield();
+    }
+  };
+
   auto collect_one = [&] {
     Pending p = window.front();
     window.pop_front();
-    iolipc::ShmFuturePool::WaitResult r =
-        s.futures.Wait(p.h, cfg.client_wait_us, client_yield);
-    s.futures.Release(p.h);
+    iolipc::ShmFuturePool::WaitResult r;
+    int tries = 0;
+    for (;;) {
+      r = s.futures.Wait(p.h, cfg.client_wait_us, client_yield);
+      s.futures.Release(p.h);
+      if (r.ok || tries >= cfg.client_retries) {
+        break;
+      }
+      // Recovery: reap (and respawn) whoever died holding this request,
+      // then re-submit the same file id on a fresh future.
+      ++tries;
+      ++result.client_retries_used;
+      supervise_poll();
+      submit(&p);
+    }
     if (!r.ok) {
       ++result.errors;
       return;
@@ -237,7 +309,9 @@ ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
 
   double t0 = NowMs();
   uint64_t rng = 0x853c49e6748fea9bull;  // Deterministic id stream, all modes.
+  bool killed = false;
   for (int i = 0; i < cfg.requests; ++i) {
+    supervise_poll();
     bool cgi = cfg.cgi_every > 0 && (i % cfg.cgi_every) == cfg.cgi_every - 1;
     rng ^= rng << 13;
     rng ^= rng >> 7;
@@ -245,21 +319,18 @@ ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
     uint64_t file_id =
         cgi ? 1000000ull + static_cast<uint64_t>(i)
             : 1 + (rng % static_cast<uint64_t>(cfg.docs.doc_count));
-    iolipc::FutureHandle h;
-    while ((h = s.futures.Acquire()) == iolipc::kInvalidFuture) {
-      client_yield();
-    }
-    iolipc::ClientRequestMsg msg{file_id, h,
-                                 static_cast<uint32_t>(cgi ? iolipc::RequestKind::kCgi
-                                                           : iolipc::RequestKind::kStatic),
-                                 0, 0};
-    while (!s.client_q.PushAs(msg)) {
-      client_yield();
-    }
-    window.push_back(Pending{h, file_id,
-                             cgi ? iolipc::RequestKind::kCgi : iolipc::RequestKind::kStatic});
+    Pending p{iolipc::kInvalidFuture, file_id,
+              cgi ? iolipc::RequestKind::kCgi : iolipc::RequestKind::kStatic};
+    submit(&p);
+    window.push_back(p);
     if (static_cast<int>(window.size()) >= cfg.inflight) {
       collect_one();
+    }
+    // Crash injection: kill proxy worker 0 once enough requests resolved.
+    if (cfg.kill_proxy_after > 0 && !killed &&
+        cfg.mode == iolipc::PlaneMode::kProcesses &&
+        static_cast<int>(result.requests + result.errors) >= cfg.kill_proxy_after) {
+      killed = proxies.Kill(0);
     }
   }
   while (!window.empty()) {
@@ -267,13 +338,33 @@ ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
   }
   result.wall_ms = NowMs() - t0;
 
-  // Quiesce the fleet in pipeline order.
+  // Quiesce the fleet in pipeline order. Join-time abnormal exits are kept
+  // apart from supervised ones: `ok` means the *final* join was clean.
+  int join_abnormal = 0;
   s.client_q.Close();
-  result.abnormal_worker_exits += proxies.JoinAll();
+  join_abnormal += proxies.JoinAll();
   s.origin_q.Close();
   s.cgi_q.Close();
-  result.abnormal_worker_exits += origins.JoinAll();
-  result.abnormal_worker_exits += cgis.JoinAll();
+  join_abnormal += origins.JoinAll();
+  join_abnormal += cgis.JoinAll();
+  if (join_abnormal > 0) {
+    s.counters.Add(iolipc::kWorkerAbnormalExits,
+                   static_cast<uint64_t>(join_abnormal));
+  }
+  result.abnormal_worker_exits =
+      join_abnormal + static_cast<int>(proxies.abnormal_exits() +
+                                       origins.abnormal_exits() +
+                                       cgis.abnormal_exits());
+  result.worker_respawns =
+      proxies.respawns() + origins.respawns() + cgis.respawns();
+  // Post-quiesce pin audit over the doc keys: every pin was either unpinned
+  // by its consumer or swept by the supervisor.
+  for (int i = 1; i <= cfg.docs.doc_count; ++i) {
+    int32_t pins = s.cache_map.PinsOf(static_cast<uint64_t>(i));
+    if (pins > 0) {
+      result.leaked_pins += static_cast<uint64_t>(pins);
+    }
+  }
 
   // Read the warm-path counters — through a fresh attach-by-name when the
   // region supports it, i.e. the way an unrelated process would.
@@ -285,6 +376,7 @@ ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
     result.origin_fills = c.Get(iolipc::kOriginFills);
     result.cgi_requests = c.Get(iolipc::kCgiRequests);
     result.future_errors = c.Get(iolipc::kFutureErrors);
+    result.pins_swept = c.Get(iolipc::kPinsSwept);
   };
   if (region->posix_shm_backed()) {
     std::unique_ptr<iolipc::ShmRegion> fresh = iolipc::ShmRegion::Attach(region->name());
@@ -304,7 +396,7 @@ ProcessTierResult RunProcessTier(const ProcessTierConfig& cfg) {
   double wall_s = result.wall_ms > 0 ? result.wall_ms / 1e3 : 1e-9;
   result.requests_per_sec = static_cast<double>(result.requests) / wall_s;
   result.mbits_per_sec = static_cast<double>(result.bytes_served) * 8.0 / 1e6 / wall_s;
-  result.ok = result.abnormal_worker_exits == 0;
+  result.ok = join_abnormal == 0;
   return result;
 }
 

@@ -67,6 +67,25 @@ struct ProcessTierConfig {
   uint64_t fill_wait_us = 2'000'000;    // Proxy waiting on an origin fill.
   uint64_t client_wait_us = 5'000'000;  // Client waiting on a response.
 
+  // --- Fault plane (src/fault) ---------------------------------------------
+  // Poll the worker groups from the client loop (kProcesses only): abnormal
+  // exits are respawned into the same slot — the replacement re-attaches to
+  // the plane through the shared handles — and the dead worker's transient
+  // pin, if any, is swept via the PinLedger.
+  bool supervise = false;
+  // Deterministic crash injection: SIGKILL proxy worker 0 once this many
+  // requests have resolved (0 = never; kProcesses only).
+  int kill_proxy_after = 0;
+  // Deterministic crash injection at the worst instant: first-generation
+  // proxy worker 0 _Exit(9)s on taking its Nth transient pin — ledger slot
+  // recorded, map pin held — so the run proves the supervisor's sweep, not
+  // just respawn (0 = never; kProcesses only; respawned workers come up
+  // healthy, so the injection fires exactly once).
+  int proxy_die_after_pins = 0;
+  // Client-side recovery: re-submit a request up to this many times after
+  // its future resolves with an error or times out.
+  int client_retries = 0;
+
   iolipc::PlaneConfig plane;
 };
 
@@ -100,7 +119,15 @@ struct ProcessTierResult {
   // Fold of all response bytes in submission order; equal across modes.
   uint64_t response_checksum = 0;
 
+  // Abnormal exits seen anywhere: reaped by the supervisor mid-run plus
+  // those discovered at final join. `ok` only requires the *final* join to
+  // be clean, so a supervised run that absorbed deliberate kills still
+  // reports ok.
   int abnormal_worker_exits = 0;
+  uint64_t worker_respawns = 0;      // Workers relaunched by the supervisor.
+  uint64_t pins_swept = 0;           // Stale pins reclaimed from dead workers.
+  uint64_t client_retries_used = 0;  // Re-submissions the client performed.
+  uint64_t leaked_pins = 0;          // Pins still held on doc keys after quiesce.
 };
 
 ProcessTierResult RunProcessTier(const ProcessTierConfig& config);

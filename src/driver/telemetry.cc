@@ -55,11 +55,25 @@ LatencySummary Telemetry::EndToEndLatency(size_t from) const {
   }
   for (size_t i = from; i < records_.size(); ++i) {
     const RequestRecord& r = records_[i];
-    if (r.counted) {
+    if (r.counted && Delivered(r.outcome)) {
       samples.push_back(r.complete - r.issue);
     }
   }
   return Summarize(std::move(samples));
+}
+
+double Telemetry::Availability(size_t from) const {
+  uint64_t counted = 0;
+  uint64_t delivered = 0;
+  for (size_t i = from; i < records_.size(); ++i) {
+    const RequestRecord& r = records_[i];
+    if (r.counted) {
+      ++counted;
+      delivered += Delivered(r.outcome) ? 1 : 0;
+    }
+  }
+  return counted > 0 ? static_cast<double>(delivered) / static_cast<double>(counted)
+                     : 1.0;
 }
 
 LatencySummary Telemetry::QueueWait(size_t from) const {
@@ -69,7 +83,7 @@ LatencySummary Telemetry::QueueWait(size_t from) const {
   }
   for (size_t i = from; i < records_.size(); ++i) {
     const RequestRecord& r = records_[i];
-    if (r.counted) {
+    if (r.counted && Delivered(r.outcome)) {
       samples.push_back(r.admit - r.issue);
     }
   }
@@ -110,7 +124,9 @@ std::vector<TenantSummary> Telemetry::PerTenant(size_t from) const {
     ++s.requests;
     s.bytes += r.bytes;
     hits[r.tenant] += r.cache_hit ? 1 : 0;
-    samples[r.tenant].push_back(r.complete - r.issue);
+    if (Delivered(r.outcome)) {
+      samples[r.tenant].push_back(r.complete - r.issue);
+    }
   }
   std::vector<TenantSummary> present;
   for (iolsim::TenantId t = 0; t <= max_tenant; ++t) {

@@ -18,6 +18,20 @@
 
 namespace ioldrv {
 
+// How a logical request ended, as observed by the client (fault plane,
+// src/fault). Everything before kTimedOut delivered a response; kTimedOut
+// and kFailed did not, and their records carry no latency sample (a
+// timeout instant is a policy constant, not a measurement).
+enum class Outcome : uint8_t {
+  kOk = 0,      // First attempt delivered.
+  kRetriedOk,   // A retry attempt delivered.
+  kHedgeWon,    // The hedged duplicate delivered first.
+  kTimedOut,    // Timed out with no retries configured (unprotected).
+  kFailed,      // Timed out after exhausting every retry.
+};
+
+inline bool Delivered(Outcome o) { return o <= Outcome::kHedgeWon; }
+
 // One completed request, as observed by the client population.
 struct RequestRecord {
   iolsim::SimTime issue = 0;     // Client issued the request.
@@ -26,6 +40,8 @@ struct RequestRecord {
   size_t bytes = 0;              // Response bytes (header + body).
   size_t server = 0;             // Fleet member that served it.
   iolsim::TenantId tenant = iolsim::kDefaultTenant;  // Owning tenant (src/qos).
+  Outcome outcome = Outcome::kOk;  // Fault plane; kOk on every fault-free run.
+  uint8_t attempts = 1;          // Issues of this logical request (1 + retries).
   bool cache_hit = false;        // Body served from the unified cache.
   bool counted = false;          // Post-warmup (excluded from summaries otherwise).
 };
@@ -76,10 +92,16 @@ class Telemetry {
   // vector mid-run).
   void Reserve(size_t n) { records_.reserve(n); }
 
-  // End-to-end latency (complete - issue) of counted requests, starting at
-  // record index `from` — an accumulating sink shared across runs can be
-  // summarized per run (the engine passes its run's first record index).
+  // End-to-end latency (complete - issue) of counted *delivered* requests,
+  // starting at record index `from` — an accumulating sink shared across
+  // runs can be summarized per run (the engine passes its run's first
+  // record index). Failed records contribute no sample: a timeout instant
+  // measures the policy, not the system.
   LatencySummary EndToEndLatency(size_t from = 0) const;
+
+  // Fraction of counted requests that delivered a response (1.0 on every
+  // fault-free run).
+  double Availability(size_t from = 0) const;
 
   // Accept-queue + propagation wait (admit - issue) of counted requests.
   LatencySummary QueueWait(size_t from = 0) const;

@@ -1,0 +1,53 @@
+// Recovery policy knobs: the half of the fault plane that turns injected
+// faults into survivable events. Consumed by ioldrv::Experiment.
+//
+// The whole recovery plane is gated on request_timeout > 0: with the
+// timeout off (the default), the engine runs the exact pre-fault code paths
+// — no timeout events, no outcome bookkeeping beyond the kOk default — so
+// every existing run stays byte-identical. With the timeout on but
+// max_retries == 0, a timed-out request is simply recorded as failed
+// ("unprotected": the availability-collapse baseline of
+// bench/fig_fault_tolerance).
+
+#ifndef SRC_FAULT_RECOVERY_H_
+#define SRC_FAULT_RECOVERY_H_
+
+#include "src/simos/clock.h"
+
+namespace iolfault {
+
+struct RecoveryConfig {
+  // Per-request timeout, measured from (re)issue. 0 disables the entire
+  // recovery plane.
+  iolsim::SimTime request_timeout = 0;
+
+  // Capped exponential backoff retry: attempt k (k = 1..max_retries) waits
+  // min(retry_backoff << (k-1), retry_backoff_cap) before reissuing on a
+  // fresh connection. 0 = no retries (timed-out requests fail).
+  int max_retries = 0;
+  iolsim::SimTime retry_backoff = 2 * iolsim::kMillisecond;
+  iolsim::SimTime retry_backoff_cap = 64 * iolsim::kMillisecond;
+
+  // Hedged requests: if the current attempt has not delivered within
+  // hedge_delay of its issue, send a duplicate to a (preferably different,
+  // healthy) member and take whichever response lands first. 0 = off.
+  // Callers typically set this to the fault-free p99.
+  iolsim::SimTime hedge_delay = 0;
+
+  // Health-check-driven balancer ejection: a deterministic prober marks a
+  // member unhealthy after `unhealthy_after` consecutive failed probes
+  // (probe = is the member up at probe time) and re-admits it after
+  // `healthy_after` consecutive good ones. Ejected members are skipped by
+  // both balancers; if every member is ejected the balancer falls back to
+  // its normal pick (requests must go somewhere).
+  bool health_checks = false;
+  iolsim::SimTime health_check_interval = 10 * iolsim::kMillisecond;
+  int unhealthy_after = 1;
+  int healthy_after = 1;
+
+  bool enabled() const { return request_timeout > 0; }
+};
+
+}  // namespace iolfault
+
+#endif  // SRC_FAULT_RECOVERY_H_

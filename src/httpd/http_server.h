@@ -65,6 +65,23 @@ class HttpServer {
   // response bytes (header + body).
   size_t HandleRequest(iolnet::TcpConnection* conn, iolfs::FileId file);
 
+  // --- Fault plane (src/fault) ------------------------------------------
+  // Crash/restart state for the member-crash fault. The staged pipeline's
+  // resource reservations cannot be revoked mid-flight, so a crash is
+  // modeled at the endpoints instead: the experiment engine consults
+  // down() at arrival time (a down member black-holes new requests) and
+  // compares crash_epoch() against the epoch captured at serve start when
+  // the pipeline completes — a serve that began before the crash has its
+  // response dropped on the floor, exactly what a dead process does with
+  // its in-flight connections.
+  bool down() const { return down_; }
+  uint32_t crash_epoch() const { return crash_epoch_; }
+  void Crash() {
+    down_ = true;
+    ++crash_epoch_;
+  }
+  void Restart() { down_ = false; }
+
  protected:
   // Stage scheduling helper; see RunCpuStage. The body is inlined and may
   // capture freely; `next` lives in the event heap and must fit an
@@ -100,6 +117,10 @@ class HttpServer {
   iolsim::SimContext* ctx_;
   iolnet::NetworkSubsystem* net_;
   iolfs::FileIoService* io_;
+
+ private:
+  bool down_ = false;
+  uint32_t crash_epoch_ = 0;
 };
 
 // Flash: mmap + writev (Section 5, "Flash uses memory-mapped files to read

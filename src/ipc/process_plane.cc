@@ -7,6 +7,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace iolipc {
 
@@ -70,6 +71,7 @@ PlaneShared CreatePlane(ShmRegion* region, const PlaneConfig& config) {
   s.futures = ShmFuturePool::Create(region, &s.table, kPlaneFutures,
                                     config.future_capacity);
   s.counters = ShmCounters::Create(region, &s.table, kPlaneCounters);
+  s.pin_ledger = PinLedger::Create(region, &s.table, kPlanePinLedger);
   if (!s.valid()) {
     return PlaneShared{};
   }
@@ -100,7 +102,36 @@ PlaneShared AttachPlane(ShmRegion* region) {
   s.cache_map = ShmMap::Attach(region, s.table, kPlaneCacheMap);
   s.futures = ShmFuturePool::Attach(region, s.table, kPlaneFutures);
   s.counters = ShmCounters::Attach(region, s.table, kPlaneCounters);
+  s.pin_ledger = PinLedger::Attach(region, s.table, kPlanePinLedger);
   return s.valid() ? s : PlaneShared{};
+}
+
+PinLedger PinLedger::Create(ShmRegion* region, ShmTable* table, const char* name) {
+  PinLedger l;
+  size_t span = kPinLedgerSlots * sizeof(uint64_t);
+  char* base = region->AllocateExtent(span);
+  if (base == nullptr) {
+    return l;
+  }
+  std::memset(base, 0, span);
+  if (table != nullptr &&
+      !table->Publish(name, region->OffsetOf(base), span, ShmType::kRaw)) {
+    return l;
+  }
+  l.slots_ = reinterpret_cast<std::atomic<uint64_t>*>(base);
+  return l;
+}
+
+PinLedger PinLedger::Attach(ShmRegion* region, const ShmTable& table,
+                            const char* name) {
+  PinLedger l;
+  const ShmTable::Entry* e = table.Find(name);
+  if (e == nullptr || e->type != static_cast<uint32_t>(ShmType::kRaw) ||
+      e->size < kPinLedgerSlots * sizeof(uint64_t)) {
+    return l;
+  }
+  l.slots_ = reinterpret_cast<std::atomic<uint64_t>*>(region->At(e->offset));
+  return l;
 }
 
 void ReturnSlot(MpmcQueue* free_list, const SliceDesc& d) {
@@ -129,28 +160,41 @@ WorkerGroup::~WorkerGroup() {
   assert(pids_.empty() && threads_.empty() && "WorkerGroup destroyed before JoinAll");
 }
 
-bool WorkerGroup::Launch(PlaneMode mode, int n, const std::function<void()>& body) {
+pid_t WorkerGroup::Spawn(int slot) {
+  std::fflush(stdout);  // Don't duplicate buffered output into children.
+  std::fflush(stderr);
+  pid_t pid = fork();
+  if (pid == 0) {
+    body_(slot);
+    _exit(0);
+  }
+  return pid;
+}
+
+bool WorkerGroup::Launch(PlaneMode mode, int n,
+                         const std::function<void(int)>& body) {
+  mode_ = mode;
+  body_ = body;
   if (mode == PlaneMode::kInProcess) {
     return true;  // The driver pumps roles itself.
   }
   for (int i = 0; i < n; ++i) {
     if (mode == PlaneMode::kThreads) {
-      threads_.emplace_back(body);
+      threads_.emplace_back([body, i] { body(i); });
       continue;
     }
-    std::fflush(stdout);  // Don't duplicate buffered output into children.
-    std::fflush(stderr);
-    pid_t pid = fork();
+    pid_t pid = Spawn(i);
     if (pid < 0) {
       return false;
-    }
-    if (pid == 0) {
-      body();
-      _exit(0);
     }
     pids_.push_back(pid);
   }
   return true;
+}
+
+bool WorkerGroup::Launch(PlaneMode mode, int n,
+                         const std::function<void()>& body) {
+  return Launch(mode, n, std::function<void(int)>([body](int) { body(); }));
 }
 
 int WorkerGroup::JoinAll() {
@@ -160,6 +204,9 @@ int WorkerGroup::JoinAll() {
   }
   threads_.clear();
   for (pid_t pid : pids_) {
+    if (pid <= 0) {
+      continue;  // Slot already retired by Poll().
+    }
     int status = 0;
     if (waitpid(pid, &status, 0) != pid) {
       ++abnormal;
@@ -174,10 +221,41 @@ int WorkerGroup::JoinAll() {
 }
 
 bool WorkerGroup::Kill(int i) {
-  if (i < 0 || static_cast<size_t>(i) >= pids_.size()) {
+  if (i < 0 || static_cast<size_t>(i) >= pids_.size() || pids_[i] <= 0) {
     return false;
   }
   return kill(pids_[i], SIGKILL) == 0;
+}
+
+int WorkerGroup::Poll() {
+  if (mode_ != PlaneMode::kProcesses) {
+    return 0;
+  }
+  int respawned = 0;
+  for (size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] <= 0) {
+      continue;
+    }
+    int status = 0;
+    if (waitpid(pids_[i], &status, WNOHANG) != pids_[i]) {
+      continue;  // Still running (or not our child — nothing to do).
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      // Drained its queue and left legitimately: retire the slot.
+      pids_[i] = -1;
+      continue;
+    }
+    ++abnormal_exits_;
+    if (on_death_) {
+      on_death_(static_cast<int>(i));
+    }
+    pids_[i] = Spawn(static_cast<int>(i));
+    if (pids_[i] > 0) {
+      ++respawns_;
+      ++respawned;
+    }
+  }
+  return respawned;
 }
 
 }  // namespace iolipc

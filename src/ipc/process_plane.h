@@ -13,6 +13,7 @@
 //   plane.map.cache   ShmMap      FileId -> cached payload (offset, len) + pins
 //   plane.futures     ShmFuturePool   response/fill completion slots
 //   plane.counters    ShmCounters     warm-path counters (ABI, see shm_counters.h)
+//   plane.pins        PinLedger       per-worker transient-pin tickets (fault plane)
 //   plane.slab.*      raw spans       the slab storage the free-lists carve
 //
 // Free-lists are themselves MPMC queues of SliceDescs — a slot *is* a
@@ -29,6 +30,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -54,6 +56,60 @@ inline constexpr char kPlaneCopyFree[] = "plane.q.copyfree";
 inline constexpr char kPlaneCacheMap[] = "plane.map.cache";
 inline constexpr char kPlaneFutures[] = "plane.futures";
 inline constexpr char kPlaneCounters[] = "plane.counters";
+inline constexpr char kPlanePinLedger[] = "plane.pins";
+
+// --- Pin ledger (fault plane) ------------------------------------------------
+
+// One slot per worker, fixed at plane creation (worker slot ids are assigned
+// by the driver: proxies [0, P), origins [P, P+O)).
+inline constexpr uint32_t kPinLedgerSlots = 64;
+
+// The crash-recovery ledger for transient cache pins. A worker that takes a
+// map pin on a requester's behalf records the key in its own slot *while it
+// holds the pin* and clears the slot immediately before handing the pin off
+// (completing the future that carries it). If the worker dies mid-serve,
+// the supervisor Take()s the slot and unpins the key — without the sweep,
+// a SIGKILL'd worker's pin would wedge that cache entry against eviction
+// forever. Clear-before-handoff means a sweep can never double-unpin a pin
+// the consumer also releases; the cost is a one-instruction window (between
+// Clear and the future Complete) where a crash leaks the pin instead.
+class PinLedger {
+ public:
+  PinLedger() = default;
+
+  static PinLedger Create(ShmRegion* region, ShmTable* table, const char* name);
+  static PinLedger Attach(ShmRegion* region, const ShmTable& table,
+                          const char* name);
+
+  bool valid() const { return slots_ != nullptr; }
+
+  // Records "worker `slot` holds a transient pin on `ticket`". Slots out of
+  // range (notably kNoPinSlot) are ignored, so unledgered workers cost one
+  // compare. A worker holds at most one transient pin at a time (its Step
+  // serves one request end to end), so plain stores suffice.
+  void Record(uint32_t slot, uint64_t ticket) {
+    if (slot < kPinLedgerSlots) {
+      slots_[slot].store(ticket + 1, std::memory_order_release);
+    }
+  }
+  void Clear(uint32_t slot) {
+    if (slot < kPinLedgerSlots) {
+      slots_[slot].store(0, std::memory_order_release);
+    }
+  }
+  // Claims the slot's entry for sweeping: returns ticket + 1, or 0 if none.
+  uint64_t Take(uint32_t slot) {
+    return slot < kPinLedgerSlots
+               ? slots_[slot].exchange(0, std::memory_order_acq_rel)
+               : 0;
+  }
+
+ private:
+  std::atomic<uint64_t>* slots_ = nullptr;
+};
+
+// Workers constructed without a ledger slot (in-process pump, legacy tests).
+inline constexpr uint32_t kNoPinSlot = UINT32_MAX;
 
 struct PlaneConfig {
   // Capacities. Queues and the map must be powers of two.
@@ -86,12 +142,13 @@ struct PlaneShared {
   ShmMap cache_map;
   ShmFuturePool futures;
   ShmCounters counters;
+  PinLedger pin_ledger;
 
   bool valid() const {
     return region != nullptr && table.valid() && client_q.valid() &&
            origin_q.valid() && cgi_q.valid() && header_free.valid() &&
            cgi_free.valid() && copy_free.valid() && cache_map.valid() &&
-           futures.valid() && counters.valid();
+           futures.valid() && counters.valid() && pin_ledger.valid();
   }
 };
 
@@ -174,21 +231,46 @@ class WorkerGroup {
   WorkerGroup(const WorkerGroup&) = delete;
   WorkerGroup& operator=(const WorkerGroup&) = delete;
 
-  // Starts `n` workers. Forked children run `body` then _exit(0).
+  // Starts `n` workers. Forked children run `body(slot)` then _exit(0);
+  // `slot` is the worker's index in [0, n), stable across respawns — it is
+  // what a worker hands to PinLedger. The no-arg overload serves bodies
+  // that don't care which slot they are.
+  bool Launch(PlaneMode mode, int n, const std::function<void(int)>& body);
   bool Launch(PlaneMode mode, int n, const std::function<void()>& body);
 
   // Waits for every worker. Returns the number that ended abnormally
-  // (non-zero exit or signal); always 0 for threads.
+  // (non-zero exit or signal); always 0 for threads. Workers already
+  // reaped by Poll() are not re-counted.
   int JoinAll();
 
   // Forcibly kills worker `i` (kProcesses only; crash-recovery tests).
   bool Kill(int i);
 
+  // --- Supervision (fault plane) ---------------------------------------
+  // Reaps workers that have exited (kProcesses only, non-blocking). A
+  // clean exit retires the slot — the worker drained its queue and left
+  // legitimately. An abnormal exit (non-zero status or signal) fires
+  // on_death(slot) — the supervisor's chance to sweep the dead worker's
+  // pins — and then respawns the stored body into the same slot, where it
+  // re-attaches to the plane through the same PlaneShared handles the
+  // original worker used. Returns the number of workers respawned.
+  int Poll();
+  void set_on_death(std::function<void(int)> fn) { on_death_ = std::move(fn); }
+  uint64_t abnormal_exits() const { return abnormal_exits_; }
+  uint64_t respawns() const { return respawns_; }
+
   const std::vector<pid_t>& pids() const { return pids_; }
 
  private:
-  std::vector<pid_t> pids_;
+  pid_t Spawn(int slot);
+
+  std::vector<pid_t> pids_;  // -1 marks a slot retired by Poll().
   std::vector<std::thread> threads_;
+  PlaneMode mode_ = PlaneMode::kInProcess;
+  std::function<void(int)> body_;
+  std::function<void(int)> on_death_;
+  uint64_t abnormal_exits_ = 0;
+  uint64_t respawns_ = 0;
 };
 
 }  // namespace iolipc

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/fs/replacement_policy.h"
@@ -24,7 +25,7 @@ using iolipc::SliceDesc;
 // --- Origin -----------------------------------------------------------------
 
 OriginWorker::OriginWorker(iolipc::PlaneShared* shared, const PlaneDocSet& docs,
-                           uint64_t cache_budget_bytes)
+                           uint64_t cache_budget_bytes, uint32_t pin_slot)
     : s_(shared),
       budget_(cache_budget_bytes),
       ctx_(),
@@ -32,7 +33,8 @@ OriginWorker::OriginWorker(iolipc::PlaneShared* shared, const PlaneDocSet& docs,
       fs_(&ctx_, &pool_),
       cache_(&ctx_, std::make_unique<iolfs::PlainLruPolicy>()),
       io_(&ctx_, &fs_, &cache_),
-      mirror_(shared->region, &shared->cache_map) {
+      mirror_(shared->region, &shared->cache_map),
+      pin_slot_(pin_slot) {
   // Replica population: same creation order => same sequential FileIds =>
   // same content seeds as every other replica and the driver's reference.
   char name[32];
@@ -67,9 +69,14 @@ bool OriginWorker::Step() {
   if (!s_->cache_map.LookupAndPin(m.file_id, &body)) {
     s_->futures.Fail(m.future, kPlaneErrUnshareable);
   } else {
+    s_->pin_ledger.Record(pin_slot_, m.file_id);
     body.ticket = m.file_id;
     body.flags = kRespPinned | kFrameEnd;
     SliceDesc none{};
+    // Clear-before-handoff: once Complete succeeds the pin belongs to the
+    // requester, and the supervisor must never sweep it out from under
+    // them (PinLedger contract).
+    s_->pin_ledger.Clear(pin_slot_);
     if (!s_->futures.Complete(m.future, none, body)) {
       s_->cache_map.Unpin(m.file_id);  // Requester timed out; drop its pin.
     } else {
@@ -156,8 +163,24 @@ void CgiWorker::Run(const iolipc::YieldFn& idle) {
 // --- Proxy ------------------------------------------------------------------
 
 ProxyWorker::ProxyWorker(iolipc::PlaneShared* shared, bool copy_data_path,
-                         uint64_t fill_wait_us)
-    : s_(shared), copy_data_path_(copy_data_path), fill_wait_us_(fill_wait_us) {}
+                         uint64_t fill_wait_us, uint32_t pin_slot,
+                         uint32_t die_after_pins)
+    : s_(shared),
+      copy_data_path_(copy_data_path),
+      fill_wait_us_(fill_wait_us),
+      pin_slot_(pin_slot),
+      die_after_pins_(die_after_pins) {}
+
+void ProxyWorker::RecordPin(uint64_t ticket) {
+  s_->pin_ledger.Record(pin_slot_, ticket);
+  if (die_after_pins_ != 0 && ++pins_recorded_ == die_after_pins_) {
+    // Fault injection: die *while holding the ledgered pin*. The state left
+    // behind is exactly one recorded ledger slot and one map pin — the
+    // supervisor must sweep it or the cache entry is wedged forever. _Exit
+    // skips destructors, like a real SIGKILL would.
+    std::_Exit(9);
+  }
+}
 
 bool ProxyWorker::Step(const iolipc::YieldFn& yield) {
   iolipc::ClientRequestMsg m;
@@ -183,6 +206,7 @@ void ProxyWorker::ServeStatic(const iolipc::ClientRequestMsg& m,
   bool hit = s_->cache_map.LookupAndPin(m.file_id, &body);
   if (hit) {
     c->Add(iolipc::kCacheHits, 1);
+    RecordPin(m.file_id);
     body.ticket = m.file_id;
     body.flags = kRespPinned | kFrameEnd;
   } else {
@@ -207,6 +231,9 @@ void ProxyWorker::ServeStatic(const iolipc::ClientRequestMsg& m,
       return;
     }
     body = r.value[1];  // Already pinned by the origin on our behalf.
+    if (body.flags & kRespPinned) {
+      RecordPin(body.ticket);  // The pin is ours now.
+    }
   }
   if (copy_data_path_) {
     // Contrast path: what a process-per-tier server without the descriptor
@@ -222,6 +249,7 @@ void ProxyWorker::ServeStatic(const iolipc::ClientRequestMsg& m,
     c->Add(iolipc::kBytesCopiedCrossProcess, body.length);
     if (body.flags & kRespPinned) {
       s_->cache_map.Unpin(body.ticket);
+      s_->pin_ledger.Clear(pin_slot_);
     }
     SliceDesc copied{};
     copied.offset = slot.offset;
@@ -238,6 +266,11 @@ void ProxyWorker::ServeStatic(const iolipc::ClientRequestMsg& m,
   size_t hlen = iolhttp::BuildResponseHeader(s_->region->At(hdr.offset), body.length);
   hdr.length = hlen;
   hdr.flags = kRespHeaderSlab;
+  // Clear-before-handoff (PinLedger contract): on Complete success the pin
+  // travels to the client with the descriptor.
+  if (body.flags & kRespPinned) {
+    s_->pin_ledger.Clear(pin_slot_);
+  }
   if (!s_->futures.Complete(m.future, hdr, body)) {
     // Client gave up on this response: give every resource back.
     iolipc::ReturnSlot(&s_->header_free, hdr);

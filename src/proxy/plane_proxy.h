@@ -73,9 +73,12 @@ constexpr uint32_t kPlaneErrNoSlot = 13;
 // pinned descriptor.
 class OriginWorker {
  public:
-  // `cache_budget_bytes` = 0 disables budget enforcement.
+  // `cache_budget_bytes` = 0 disables budget enforcement. `pin_slot` is the
+  // worker's PinLedger slot (kNoPinSlot = unledgered); supervised workers
+  // get one so a crash between pin and hand-off can be swept.
   OriginWorker(iolipc::PlaneShared* shared, const PlaneDocSet& docs,
-               uint64_t cache_budget_bytes);
+               uint64_t cache_budget_bytes,
+               uint32_t pin_slot = iolipc::kNoPinSlot);
 
   // Serves one fill; false when plane.q.origin yielded nothing.
   bool Step();
@@ -94,6 +97,7 @@ class OriginWorker {
   iolfs::FileCache cache_;
   iolfs::FileIoService io_;
   iolipc::ShmCacheMirror mirror_;
+  uint32_t pin_slot_;
 };
 
 // --- CGI --------------------------------------------------------------------
@@ -127,8 +131,16 @@ class CgiWorker {
 // descriptor discipline saves.
 class ProxyWorker {
  public:
+  // `pin_slot`: see OriginWorker — the proxy holds a transient pin on the
+  // warm path (LookupAndPin -> Complete) and after a fill hands it one.
+  // `die_after_pins`: deterministic fault injection for supervision tests —
+  // the worker _Exit(9)s on taking its Nth pin, i.e. at the exact point
+  // where it holds a ledgered pin and nothing else (no queue mid-state, no
+  // lock), so the supervisor's sweep is the only thing standing between the
+  // crash and a permanently wedged cache entry. 0 = never.
   ProxyWorker(iolipc::PlaneShared* shared, bool copy_data_path,
-              uint64_t fill_wait_us);
+              uint64_t fill_wait_us, uint32_t pin_slot = iolipc::kNoPinSlot,
+              uint32_t die_after_pins = 0);
 
   // Serves one client request end to end; false when plane.q.client yielded
   // nothing. `yield` is polled while waiting on fills and free slots.
@@ -138,10 +150,15 @@ class ProxyWorker {
 
  private:
   void ServeStatic(const iolipc::ClientRequestMsg& m, const iolipc::YieldFn& yield);
+  // Ledgers the pin, then dies if the injection count just came up.
+  void RecordPin(uint64_t ticket);
 
   iolipc::PlaneShared* s_;
   bool copy_data_path_;
   uint64_t fill_wait_us_;
+  uint32_t pin_slot_;
+  uint32_t die_after_pins_;
+  uint32_t pins_recorded_ = 0;
 };
 
 }  // namespace iolproxy

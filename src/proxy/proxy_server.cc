@@ -174,10 +174,25 @@ void ProxyServer::LookupStage(iolhttp::RequestContext* req) {
   if (cached.has_value()) {
     req->cache_hit = true;
     node.body = std::move(*cached);
+    // Serve-stale: a hit during a backhaul outage serves from the proxy
+    // tier exactly as it always does — count it so the drill can assert
+    // the proxy stayed available through the flap.
+    if (BackhaulDown(ctx_->clock().now())) {
+      ++stale_hits_;
+    }
     ServeBody(idx);
     return;
   }
   req->cache_hit = false;
+  // Fail-open: with the backhaul inside an outage window, a miss cannot
+  // reach the origin until the window closes. Rather than queueing the
+  // fetch behind the outage (tail latency), answer immediately with a
+  // degraded header-only response.
+  if (config_.fail_open && !shared_cache_ && BackhaulDown(ctx_->clock().now())) {
+    ++fail_open_serves_;
+    ServeDegraded(idx);
+    return;
+  }
   node.is_fetch = true;
   node.fetch_issue = ctx_->clock().now();
   if (shared_cache_) {
@@ -185,6 +200,32 @@ void ProxyServer::LookupStage(iolhttp::RequestContext* req) {
   } else {
     ForwardRemote(idx);
   }
+}
+
+// --- Fault plane (src/fault) ------------------------------------------------
+
+void ProxyServer::AddBackhaulOutage(iolsim::SimTime start, iolsim::SimTime end) {
+  backhaul_link_.AddOutageWindow(start, end);
+}
+
+void ProxyServer::ArmBackhaulFaults(const iolfault::FaultPlan& plan) {
+  for (const iolfault::FaultEvent& e : plan.events()) {
+    if (e.kind == iolfault::FaultKind::kBackhaulFlap) {
+      AddBackhaulOutage(e.at, e.at + e.duration);
+    }
+  }
+}
+
+bool ProxyServer::BackhaulDown(iolsim::SimTime t) const {
+  return backhaul_link_.InOutage(t);
+}
+
+void ProxyServer::ServeDegraded(uint32_t idx) {
+  // The degraded answer is proxy-generated: one header, no body, no
+  // backhaul traffic. node.body stays empty, so both serve tails emit a
+  // zero-length payload; is_fetch stays false, so no FetchRecord is
+  // fabricated for a fetch that never happened.
+  ServeBody(idx);
 }
 
 // --- Socket backhaul (kRemote, and kColocated + kCopy) ----------------------

@@ -46,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/fault_plan.h"
 #include "src/fs/file_cache.h"
 #include "src/httpd/http_server.h"
 #include "src/iolite/runtime.h"
@@ -102,6 +103,15 @@ struct ProxyConfig {
   // Origin-side service loop for one IOL-IPC fetch (descriptor pop, unified
   // cache read, descriptor push) beyond the charged syscalls.
   iolsim::SimTime origin_ipc_request_cpu = 50 * iolsim::kMicrosecond;
+
+  // Fault plane (src/fault): when the backhaul is inside an outage window
+  // (AddBackhaulOutage / ArmBackhaulFaults), cache hits keep serving from
+  // the proxy tier regardless — that is serve-stale, and it needs no flag.
+  // fail_open decides what a *miss* does: true serves an immediate degraded
+  // header-only response (counted in fail_open_serves()); false lets the
+  // fetch queue behind the outage on the backhaul Resource, surfacing the
+  // flap as tail latency instead of errors.
+  bool fail_open = false;
 };
 
 // One backhaul fetch, as observed by the proxy (per-tier latency).
@@ -140,6 +150,25 @@ class ProxyServer : public iolhttp::HttpServer {
   // when co-located IO-Lite, the proxy's own cache otherwise.
   iolfs::FileCache& proxy_cache() { return *cache_; }
   bool shares_unified_cache() const { return shared_cache_; }
+
+  // --- Fault plane (src/fault) -------------------------------------------
+  // Declares a backhaul outage window [start, end): the backhaul Resource
+  // stalls transmissions until `end`, and LookupStage consults the window
+  // for the serve-stale / fail-open decision. The engine's ArmFaults
+  // deliberately skips FaultKind::kBackhaulFlap — the backhaul wire is
+  // proxy-owned state, so the proxy owner arms it here.
+  void AddBackhaulOutage(iolsim::SimTime start, iolsim::SimTime end);
+  // Arms every kBackhaulFlap event of the plan (other kinds are ignored;
+  // they belong to the engine's ArmFaults).
+  void ArmBackhaulFaults(const iolfault::FaultPlan& plan);
+  // Whether the backhaul sits inside an outage window at time t.
+  bool BackhaulDown(iolsim::SimTime t) const;
+
+  // Hits served from the proxy tier while the backhaul was down
+  // (serve-stale), and misses answered with a degraded header-only
+  // response under fail_open.
+  uint64_t stale_hits() const { return stale_hits_; }
+  uint64_t fail_open_serves() const { return fail_open_serves_; }
 
   // --- Per-tier accounting ---------------------------------------------------
   uint64_t origin_fetches() const { return origin_hits_ + origin_misses_; }
@@ -183,6 +212,8 @@ class ProxyServer : public iolhttp::HttpServer {
   void ForwardIpc(uint32_t idx);         // kColocated + kIoLite.
   void OriginIpcServe(uint32_t idx);
   void OnOriginRead(uint32_t idx, bool was_miss);
+  // Fail-open miss path: immediate degraded header-only response.
+  void ServeDegraded(uint32_t idx);
   // Shared tail: serve node's body to the client over the front link.
   void ServeBody(uint32_t idx);
   void FinishServe(uint32_t idx);
@@ -214,6 +245,11 @@ class ProxyServer : public iolhttp::HttpServer {
   uint64_t origin_hits_ = 0;
   uint64_t origin_misses_ = 0;
   std::vector<FetchRecord> fetch_records_;
+
+  // Fault plane: outage windows live on backhaul_link_ itself (the
+  // Resource defers transmissions and answers BackhaulDown via InOutage).
+  uint64_t stale_hits_ = 0;
+  uint64_t fail_open_serves_ = 0;
 
   // Deque: origin pipelines hold &bh_req across their stage suspensions, so
   // node addresses must survive pool growth.

@@ -33,6 +33,7 @@
 #ifndef SRC_SIMOS_EVENT_QUEUE_H_
 #define SRC_SIMOS_EVENT_QUEUE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <cstdlib>
@@ -600,6 +601,9 @@ class Resource {
     if (unit > start) {
       start = unit;
     }
+    if (!fault_windows_.empty()) {
+      ApplyFaultWindows(now, &start, &service);
+    }
     unit = start + service;
     busy_ += service;
     if (unit_free_at_.size() > 1) {
@@ -649,7 +653,91 @@ class Resource {
     ResetHeap();
   }
 
+  // --- Fault plane (src/fault) ------------------------------------------
+  //
+  // Timed degradation windows, armed against the resource before (or
+  // during) a run. A job whose service would begin inside a window is
+  // degraded:
+  //   * fail-slow: its service demand is multiplied by num/den (integer
+  //     arithmetic, so faulted runs stay bit-identical across platforms);
+  //   * fail-stop (num == 0): the device serves nothing while stopped —
+  //     the job's start is deferred to the window end, and queued work
+  //     resumes in the original FIFO reservation order.
+  // With no windows armed, the acquire path is untouched (a single
+  // empty() check), so an empty FaultPlan is byte-identical to the
+  // un-faulted engine. Overlapping slow windows do not stack: the
+  // earliest-starting one covering the job applies.
+
+  void AddSlowWindow(SimTime start, SimTime end, uint32_t num, uint32_t den) {
+    assert(num > 0 && den > 0 && end > start);
+    fault_windows_.push_back(FaultWindow{start, end, num, den});
+    SortFaultWindows();
+  }
+
+  void AddOutageWindow(SimTime start, SimTime end) {
+    assert(end > start);
+    fault_windows_.push_back(FaultWindow{start, end, 0, 1});
+    SortFaultWindows();
+  }
+
+  // True if a fail-stop window covers `t` (proxy fail-open checks this
+  // before queueing a fetch behind a dead backhaul).
+  bool InOutage(SimTime t) const {
+    for (const FaultWindow& w : fault_windows_) {
+      if (w.start > t) {
+        break;  // Sorted by start: no later window can cover t.
+      }
+      if (w.num == 0 && t < w.end) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool has_fault_windows() const { return !fault_windows_.empty(); }
+
  private:
+  struct FaultWindow {
+    SimTime start = 0;
+    SimTime end = 0;
+    uint32_t num = 0;  // 0 = fail-stop (outage); otherwise service *= num/den.
+    uint32_t den = 1;
+  };
+
+  void SortFaultWindows() {
+    // Insertion-time sort (arming is rare, acquiring is hot). Stable order
+    // by (start, end) keeps overlapping-window resolution deterministic.
+    std::sort(fault_windows_.begin(), fault_windows_.end(),
+              [](const FaultWindow& a, const FaultWindow& b) {
+                return a.start != b.start ? a.start < b.start : a.end < b.end;
+              });
+    fault_cursor_ = 0;
+  }
+
+  void ApplyFaultWindows(SimTime now, SimTime* start, SimTime* service) {
+    // Windows fully in the past can never degrade a new job (start >= now,
+    // and now only moves forward), so skip them permanently.
+    while (fault_cursor_ < fault_windows_.size() &&
+           fault_windows_[fault_cursor_].end <= now) {
+      ++fault_cursor_;
+    }
+    for (size_t i = fault_cursor_; i < fault_windows_.size(); ++i) {
+      const FaultWindow& w = fault_windows_[i];
+      if (w.start > *start) {
+        break;  // Sorted by start: later windows can't cover this start.
+      }
+      if (*start >= w.end) {
+        continue;  // Already over by the time this job would begin.
+      }
+      if (w.num == 0) {
+        *start = w.end;  // Fail-stop: resume when the device comes back.
+        continue;        // Back-to-back windows may cover the new start.
+      }
+      *service = *service * w.num / w.den;
+      break;  // One slow multiplier per job; overlapping windows don't stack.
+    }
+  }
+
   // Earliest-free unit; ties resolve to the lowest index so unit selection
   // is deterministic. O(1): the single-unit case has no choice to make and
   // the multi-unit case reads the heap root.
@@ -697,6 +785,8 @@ class Resource {
   std::vector<uint32_t> heap_;  // Unit indices, min-heap by (free time, index).
   SimTime busy_ = 0;
   ResourceScheduler* scheduler_ = nullptr;
+  std::vector<FaultWindow> fault_windows_;  // Sorted by (start, end).
+  size_t fault_cursor_ = 0;                 // First window not fully past.
 };
 
 // Pooled two-hop acquisition: reserve `first` for `s1`, and at its

@@ -312,6 +312,40 @@ TEST(ForkPlaneTest, ProcessesModeIsByteIdenticalWithZeroCrossProcessCopies) {
   EXPECT_GT(proc.cgi_requests, 0u);
 }
 
+// --- Supervision: crash at the worst instant, recover, finish the run --------
+
+TEST(ForkPlaneTest, SupervisorRespawnsDeadProxyAndSweepsItsPin) {
+  ioldrv::ProcessTierConfig cfg;
+  cfg.mode = PlaneMode::kProcesses;
+  cfg.region_name.clear();
+  cfg.requests = 160;
+  cfg.inflight = 4;
+  cfg.docs.doc_count = 8;
+  cfg.docs.doc_bytes = 8 * 1024;
+  cfg.cgi_every = 0;
+  cfg.proxy_workers = 2;
+  cfg.origin_workers = 1;
+  cfg.cgi_workers = 0;
+  cfg.supervise = true;
+  // Proxy 0 _Exit(9)s the moment it takes its 5th pin: ledger slot recorded,
+  // map pin held, client future unresolved — the worst possible instant.
+  cfg.proxy_die_after_pins = 5;
+  cfg.client_retries = 2;  // The orphaned request times out and is re-issued.
+  cfg.fill_wait_us = 200'000;
+  cfg.client_wait_us = 500'000;
+
+  ioldrv::ProcessTierResult r = ioldrv::RunProcessTier(cfg);
+  ASSERT_TRUE(r.ok) << "final join clean despite the injected crash";
+  EXPECT_GE(r.abnormal_worker_exits, 1);
+  EXPECT_GE(r.worker_respawns, 1u) << "the dead slot was relaunched";
+  EXPECT_GE(r.pins_swept, 1u) << "the crashed worker's ledgered pin was reclaimed";
+  EXPECT_EQ(r.leaked_pins, 0u) << "no doc key still pinned after quiesce";
+  EXPECT_EQ(r.requests + r.errors, 160u) << "every request resolved";
+  EXPECT_GE(r.client_retries_used, 1u);
+  EXPECT_EQ(r.errors, 0u) << "retries converted the crash into late successes";
+  EXPECT_TRUE(r.byte_identical);
+}
+
 // --- Region lifecycle: sweeping segments left by dead processes --------------
 
 TEST(ForkPlaneTest, SweepStaleReclaimsRegionsOfDeadOwnersOnly) {
