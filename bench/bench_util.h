@@ -127,6 +127,11 @@ class JsonReporter {
       row.retries = result.retries;
       row.goodput_mbps = result.goodput_mbps;
       row.tenants = result.tenants;
+      row.staleness_p99_ms = result.staleness.p99_ms;
+      row.stale_serves = result.stale_serves;
+      row.cdn_writes = result.cdn_writes;
+      row.origin_fleet_fetches = result.origin_fleet_fetches;
+      row.cdn_levels = result.cdn_levels;
       rows_.push_back(std::move(row));
     }
   }
@@ -156,12 +161,17 @@ class JsonReporter {
                    "\"proxy_hit_rate\": %.6g, \"origin_hit_rate\": %.6g, "
                    "\"bytes_copied_backhaul\": %llu, "
                    "\"availability\": %.8g, \"error_rate\": %.8g, "
-                   "\"retries\": %llu, \"goodput_mbps\": %.6g",
+                   "\"retries\": %llu, \"goodput_mbps\": %.6g, "
+                   "\"staleness_p99_ms\": %.6g, \"stale_serves\": %llu, "
+                   "\"cdn_writes\": %llu, \"origin_fleet_fetches\": %llu",
                    i == 0 ? "" : ",", r.series.c_str(), r.x, r.value, r.proxy_hit_rate,
                    r.origin_hit_rate,
                    static_cast<unsigned long long>(r.bytes_copied_backhaul),
                    r.availability, r.error_rate,
-                   static_cast<unsigned long long>(r.retries), r.goodput_mbps);
+                   static_cast<unsigned long long>(r.retries), r.goodput_mbps,
+                   r.staleness_p99_ms, static_cast<unsigned long long>(r.stale_serves),
+                   static_cast<unsigned long long>(r.cdn_writes),
+                   static_cast<unsigned long long>(r.origin_fleet_fetches));
       if (r.has_latency) {
         std::fprintf(f,
                      ", \"requests\": %llu, \"cache_hit_rate\": %.6g, \"p50_ms\": %.6g, "
@@ -189,6 +199,31 @@ class JsonReporter {
                        b.name.c_str(), static_cast<unsigned long long>(b.requests),
                        b.latency.p50_ms, b.latency.p99_ms, b.cache_hit_rate,
                        b.cache_hit_fraction);
+        }
+        std::fprintf(f, "]");
+      }
+      // CDN hierarchy rows carry a per-level breakdown (level 0 = edges);
+      // non-CDN rows omit the key, like the tenants array above.
+      if (!r.cdn_levels.empty()) {
+        std::fprintf(f, ", \"levels\": [");
+        for (size_t l = 0; l < r.cdn_levels.size(); ++l) {
+          const ioldrv::ExperimentResult::CdnLevelResult& c = r.cdn_levels[l];
+          std::fprintf(
+              f,
+              "%s{\"level\": %zu, \"proxies\": %d, \"hit_rate\": %.6g, "
+              "\"backhaul_bytes\": %llu, \"stale_serves\": %llu, "
+              "\"invalidations_sent\": %llu, \"invalidations_applied\": %llu, "
+              "\"revalidations\": %llu, \"revalidation_bytes\": %llu, "
+              "\"fetch_races\": %llu, \"shaper_holds\": %llu}",
+              l == 0 ? "" : ", ", l, c.proxies, c.hit_rate,
+              static_cast<unsigned long long>(c.backhaul_bytes),
+              static_cast<unsigned long long>(c.stale_serves),
+              static_cast<unsigned long long>(c.invalidations_sent),
+              static_cast<unsigned long long>(c.invalidations_applied),
+              static_cast<unsigned long long>(c.revalidations),
+              static_cast<unsigned long long>(c.revalidation_bytes),
+              static_cast<unsigned long long>(c.fetch_races),
+              static_cast<unsigned long long>(c.shaper_holds));
         }
         std::fprintf(f, "]");
       }
@@ -220,6 +255,11 @@ class JsonReporter {
     uint64_t retries = 0;
     double goodput_mbps = 0;
     std::vector<ioldrv::TenantBreakdown> tenants;
+    double staleness_p99_ms = 0;
+    uint64_t stale_serves = 0;
+    uint64_t cdn_writes = 0;
+    uint64_t origin_fleet_fetches = 0;
+    std::vector<ioldrv::ExperimentResult::CdnLevelResult> cdn_levels;
   };
   std::string figure_;
   std::string path_;

@@ -43,6 +43,8 @@ for bin in "$build_dir"/bench_fig* "$build_dir"/bench_sweep_* "$build_dir"/bench
       short="tenant_isolation" ;;
     bench_fig_fault_tolerance)
       short="fault_tolerance" ;;
+    bench_fig_cdn_hierarchy)
+      short="cdn_hierarchy" ;;
     *)
       short=${name#bench_} ;;
   esac
@@ -201,4 +203,31 @@ if [ -f "$f" ]; then
     exit 1
   fi
   echo "== schema check ok: $f rows carry recovery accounting"
+fi
+
+# CDN-hierarchy schema check: every row must carry the staleness accounting,
+# the tree rows must carry the per-level breakdown, all three consistency
+# protocols must appear, and the flat baseline must be present. (The bench
+# itself exits non-zero if an acceptance gate fails on a full run.)
+f="$out_dir/BENCH_cdn_hierarchy.json"
+if [ -f "$f" ]; then
+  for field in staleness_p99_ms stale_serves cdn_writes origin_fleet_fetches; do
+    if ! grep -q "\"$field\": " "$f"; then
+      echo "schema check failed: no $field fields in $f" >&2
+      exit 1
+    fi
+  done
+  for field in levels hit_rate backhaul_bytes invalidations_sent revalidation_bytes; do
+    if ! grep -q "\"$field\": " "$f"; then
+      echo "schema check failed: no per-level $field fields in $f" >&2
+      exit 1
+    fi
+  done
+  for series in flat tree-edge-heavy invalidate/edge-heavy revalidate/edge-heavy stale/edge-heavy; do
+    if ! grep -q "\"series\": \"$series\"" "$f"; then
+      echo "schema check failed: missing series $series in $f" >&2
+      exit 1
+    fi
+  done
+  echo "== schema check ok: $f rows carry per-level consistency accounting"
 fi

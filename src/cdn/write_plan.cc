@@ -1,0 +1,43 @@
+#include "src/cdn/write_plan.h"
+
+#include <cmath>
+
+namespace iolcdn {
+
+void WritePlan::Arm(ioldrv::Experiment* experiment) {
+  experiment_ = experiment;
+  if (!(spec_.writes_per_sec > 0) || spec_.num_files == 0) {
+    return;
+  }
+  iolsim::SimTime first =
+      spec_.start + iolsim::ExponentialInterarrival(&rng_, spec_.writes_per_sec);
+  ctx_->events().ScheduleAfter(first, [this] { Step(); });
+}
+
+void WritePlan::Step() {
+  // The run is over: do not re-arm, or the post-done_ queue drain never
+  // terminates. (Events already scheduled still fire during the drain;
+  // that is fine — they just stop begetting successors.)
+  if (experiment_->finished()) {
+    return;
+  }
+  ++writes_;
+  last_ack_ = authority_->ApplyWrite(PickFile());
+  iolsim::SimTime next =
+      iolsim::ExponentialInterarrival(&rng_, spec_.writes_per_sec);
+  ctx_->events().ScheduleAfter(next, [this] { Step(); });
+}
+
+iolfs::FileId WritePlan::PickFile() {
+  double u = rng_.NextDouble();
+  if (spec_.hot_bias > 0) {
+    u = std::pow(u, 1.0 + spec_.hot_bias);
+  }
+  auto id = static_cast<uint64_t>(u * static_cast<double>(spec_.num_files));
+  if (id >= spec_.num_files) {
+    id = spec_.num_files - 1;
+  }
+  return static_cast<iolfs::FileId>(id);
+}
+
+}  // namespace iolcdn

@@ -1,0 +1,65 @@
+// WritePlan: a deterministic origin write process for the CDN hierarchy.
+//
+// A seeded Poisson stream of origin writes: each write picks a file (
+// optionally biased toward the low file ids, which the trace synthesizer
+// makes the popular ones) and applies it through the VersionAuthority —
+// version bump, write timestamp, and (kInvalidate) the invalidation fan-out
+// down the tree. The plan is a self-rescheduling event source, so it checks
+// Experiment::finished() before re-arming: Run drains the queue after the
+// last counted completion, and an unconditional re-arm would keep that
+// drain alive forever.
+
+#ifndef SRC_CDN_WRITE_PLAN_H_
+#define SRC_CDN_WRITE_PLAN_H_
+
+#include <cstdint>
+
+#include "src/cdn/version_authority.h"
+#include "src/driver/experiment.h"
+#include "src/simos/rng.h"
+
+namespace iolcdn {
+
+struct WritePlanSpec {
+  // Mean origin writes per second (0 disables the plan entirely).
+  double writes_per_sec = 0;
+  // Write targets are file ids in [0, num_files).
+  uint64_t num_files = 1;
+  // 0 = uniform over the files; > 0 biases toward low ids (popular files)
+  // as id = num_files * u^(1 + hot_bias), so writes collide with reads.
+  double hot_bias = 0;
+  uint64_t seed = 1;
+  // First write may not fire before this instant (let caches warm).
+  iolsim::SimTime start = 0;
+};
+
+class WritePlan {
+ public:
+  WritePlan(iolsim::SimContext* ctx, VersionAuthority* authority,
+            WritePlanSpec spec)
+      : ctx_(ctx), authority_(authority), spec_(spec), rng_(spec.seed) {}
+
+  // Schedules the first write. Call after the experiment exists and before
+  // (or as) it runs; `experiment` is consulted for finished() only.
+  void Arm(ioldrv::Experiment* experiment);
+
+  uint64_t writes() const { return writes_; }
+  // Ack instant of the most recent write (see VersionAuthority::ApplyWrite).
+  iolsim::SimTime last_ack() const { return last_ack_; }
+
+ private:
+  void Step();
+  iolfs::FileId PickFile();
+
+  iolsim::SimContext* ctx_;
+  VersionAuthority* authority_;
+  WritePlanSpec spec_;
+  iolsim::Rng rng_;
+  ioldrv::Experiment* experiment_ = nullptr;
+  uint64_t writes_ = 0;
+  iolsim::SimTime last_ack_ = 0;
+};
+
+}  // namespace iolcdn
+
+#endif  // SRC_CDN_WRITE_PLAN_H_

@@ -1,0 +1,84 @@
+// CdnTier: the N-level composition of the experiment API (src/cdn).
+//
+// Mirrors ProxyTier one level up: where ProxyTier wires one ProxyServer in
+// front of an origin Fleet, CdnTier wires a CdnTopology of them — an edge
+// tier clients talk to, interior levels those edges fetch through, and a
+// top level that fetches from the origin fleet via its balancer. Clients
+// pin to their edge (Workload::PinMember; EdgeMix populations), every
+// interior link runs the topology's consistency protocol against one
+// VersionAuthority, and per-level backhaul shaping attaches where the
+// topology asks for it.
+//
+// The degenerate one-level, one-proxy topology constructs exactly the
+// ProxyTier wiring — same ProxyServer arguments, same Fleet::Single fast
+// path in the engine — so a zero-write CDN run is byte-identical to the
+// PR 5 proxy tier (tests/cdn_test.cc pins this).
+
+#ifndef SRC_DRIVER_CDN_TIER_H_
+#define SRC_DRIVER_CDN_TIER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/cdn/cdn_topology.h"
+#include "src/cdn/version_authority.h"
+#include "src/cdn/write_plan.h"
+#include "src/driver/experiment.h"
+#include "src/driver/fleet.h"
+#include "src/proxy/proxy_server.h"
+#include "src/qos/backhaul_shaper.h"
+
+namespace ioldrv {
+
+class CdnTier {
+ public:
+  // `origins` is the fleet behind the top proxy level; `topo` shapes the
+  // tree; `pconfig` supplies everything CdnLevelSpec does not override
+  // (data path, CPU costs, fail_open). The System pieces must outlive the
+  // tier. `topo.levels` must be non-empty, each level's count >= 1, and
+  // levels.size() <= SimStats::kMaxCdnLevels.
+  CdnTier(iolsim::SimContext* ctx, iolnet::NetworkSubsystem* net,
+          iolfs::FileIoService* io, iolite::IoLiteRuntime* runtime, Fleet origins,
+          iolcdn::CdnTopology topo, iolproxy::ProxyConfig pconfig,
+          ExperimentConfig config);
+
+  // Attaches a deterministic origin write process; armed at Run. Not owned.
+  void set_write_plan(iolcdn::WritePlan* plan) { write_plan_ = plan; }
+
+  // Runs `workload` against the edge tier (one run per instance). The
+  // result carries the proxy fields aggregated over every level plus the
+  // cdn_levels / staleness / per-edge blocks.
+  ExperimentResult Run(Workload* workload, Experiment::RequestSource next_file,
+                       Telemetry* sink = nullptr);
+
+  // --- Fault plane (src/cdn satellite) -------------------------------------
+  // Arms every kBackhaulFlap of the plan onto the hierarchy: an event whose
+  // `target` names a level flaps every uplink at that level; target -1
+  // flaps every level. (The engine's ArmFaults skips flap events; the
+  // hierarchy owns its backhaul wires, so they are armed here.)
+  void ArmBackhaulFaults(const iolfault::FaultPlan& plan);
+
+  iolcdn::VersionAuthority& authority() { return authority_; }
+  // Proxy `i` at `level` (level 0 = edges).
+  iolproxy::ProxyServer& proxy(int level, int i) { return *proxies_[level][i]; }
+  int level_count() const { return static_cast<int>(proxies_.size()); }
+  int proxies_at(int level) const {
+    return static_cast<int>(proxies_[level].size());
+  }
+
+ private:
+  iolsim::SimContext* ctx_;
+  Fleet origins_;
+  iolcdn::CdnTopology topo_;
+  iolcdn::VersionAuthority authority_;
+  // proxies_[level][i]; level 0 = edge tier.
+  std::vector<std::vector<std::unique_ptr<iolproxy::ProxyServer>>> proxies_;
+  std::vector<std::unique_ptr<iolqos::BackhaulShaper>> shapers_;
+  iolcdn::WritePlan* write_plan_ = nullptr;
+  std::unique_ptr<Experiment> experiment_;
+};
+
+}  // namespace ioldrv
+
+#endif  // SRC_DRIVER_CDN_TIER_H_

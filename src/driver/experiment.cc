@@ -359,6 +359,11 @@ void Experiment::AdmitToFleet(size_t lane) {
     // Degenerate fleet (every classic experiment): there is nothing to
     // balance, skip the load snapshot and the balancer virtual call.
     l.server = 0;
+  } else if (workload_->PinMember(l.conn_index, &l.server)) {
+    // Geographically pinned client (the CDN hierarchy's per-edge client
+    // populations): the client always talks to its edge — no balancing,
+    // no hedge steering (recovery and CDN pinning are not composed).
+    l.server %= fleet_.size();
   } else {
     // The balancer sees each member's full backlog: in service plus waiting
     // in its accept queue. (load_scratch_ is a member: one arrival per

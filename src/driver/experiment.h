@@ -185,6 +185,40 @@ struct ExperimentResult {
   uint64_t response_drops = 0;     // Responses lost to member crashes.
   uint64_t blackholed_arrivals = 0;  // Arrivals routed to a down member.
   uint64_t health_ejections = 0;   // Health-checker ejection transitions.
+
+  // --- CDN hierarchy (src/cdn; filled by CdnTier, empty otherwise) --------
+  // One entry per hierarchy level, index 0 = the edge tier. Mirrors the
+  // SimStats::cdn[] counter block, summed over the run's window.
+  struct CdnLevelResult {
+    int proxies = 0;           // Proxies at this level.
+    double hit_rate = 0;       // Level-local cache hit rate.
+    uint64_t backhaul_bytes = 0;
+    uint64_t stale_serves = 0;
+    uint64_t invalidations_sent = 0;
+    uint64_t invalidations_applied = 0;
+    uint64_t revalidations = 0;
+    uint64_t revalidation_bytes = 0;
+    uint64_t fetch_races = 0;
+    uint64_t shaper_holds = 0;
+  };
+  std::vector<CdnLevelResult> cdn_levels;
+  // Per-edge client-population slice (requests pin to their edge via
+  // Workload::PinMember; per_server above carries the same edge indices).
+  struct EdgeBreakdown {
+    uint64_t requests = 0;
+    uint64_t bytes = 0;
+    LatencySummary latency;
+    double cache_hit_fraction = 0;
+  };
+  std::vector<EdgeBreakdown> edges;
+  // Staleness ages of every stale serve in the hierarchy (the "ms" fields
+  // summarize ages, not latencies). Zero-count when nothing was stale.
+  LatencySummary staleness;
+  uint64_t stale_serves = 0;
+  uint64_t cdn_writes = 0;       // Origin writes the write plan applied.
+  // Load that reached the origin fleet: fetches issued by the top proxy
+  // level — the number the hierarchy exists to shrink.
+  uint64_t origin_fleet_fetches = 0;
 };
 
 class Experiment {
@@ -215,6 +249,12 @@ class Experiment {
   const Telemetry& telemetry() const { return *telemetry_; }
 
   Fleet& fleet() { return fleet_; }
+
+  // Whether the run has hit its completion target. Self-rescheduling
+  // background event sources (the CDN write plan) consult this to stop
+  // re-arming — Run drains the queue after done_, and an event that always
+  // schedules a successor would keep the drain alive forever.
+  bool finished() const { return done_; }
 
  private:
   // One request slot: a connection (shared by a client's pipelined lanes)

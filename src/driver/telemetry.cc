@@ -141,4 +141,8 @@ std::vector<TenantSummary> Telemetry::PerTenant(size_t from) const {
   return present;
 }
 
+LatencySummary SummarizeSamples(std::vector<iolsim::SimTime> samples) {
+  return Summarize(std::move(samples));
+}
+
 }  // namespace ioldrv

@@ -58,6 +58,11 @@ struct LatencySummary {
   double max_ms = 0;
 };
 
+// Deterministic sort + nearest-rank summary over raw SimTime samples — the
+// same arithmetic every Telemetry summary uses, exposed for sample streams
+// that are not request records (the CDN tier's staleness ages).
+LatencySummary SummarizeSamples(std::vector<iolsim::SimTime> samples);
+
 // Per-tenant slice of a run's counted records (multi-tenant QoS plane).
 struct TenantSummary {
   iolsim::TenantId tenant = iolsim::kDefaultTenant;

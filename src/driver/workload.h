@@ -68,6 +68,16 @@ class Workload {
   // experiment's RequestSource.
   virtual bool NextFile(iolfs::FileId* file);
 
+  // Fleet member pinned to `client`'s requests. Geographic workloads (the
+  // CDN hierarchy's per-edge client populations, src/cdn) return true and
+  // set *member: a client always talks to its edge, never to a balancer's
+  // pick. Default: false — the engine balances as usual.
+  virtual bool PinMember(size_t client, size_t* member) {
+    (void)client;
+    (void)member;
+    return false;
+  }
+
   // Rewinds cursors and reseeds generators so the same Workload object can
   // drive a fresh run deterministically. Called by Experiment::Run.
   virtual void Reset() {}

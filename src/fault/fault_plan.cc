@@ -62,11 +62,12 @@ FaultPlan& FaultPlan::AddLinkOutage(iolsim::SimTime at,
 }
 
 FaultPlan& FaultPlan::AddBackhaulFlap(iolsim::SimTime at,
-                                      iolsim::SimTime duration) {
+                                      iolsim::SimTime duration, int level) {
   FaultEvent e;
   e.kind = FaultKind::kBackhaulFlap;
   e.at = at;
   e.duration = duration;
+  e.target = level;
   return Add(e);
 }
 

@@ -48,7 +48,10 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kMemberCrash;
   iolsim::SimTime at = 0;        // Window / crash start (absolute sim time).
   iolsim::SimTime duration = 0;  // Window length / restart delay.
-  int target = 0;                // Fleet member (kMemberCrash only).
+  // kMemberCrash: the fleet member. kBackhaulFlap: the CDN hierarchy level
+  // whose uplinks flap (-1 = every level; ignored by single-proxy tiers,
+  // which own exactly one backhaul wire).
+  int target = 0;
   uint32_t slow_num = 4;         // Fail-slow multiplier num/den.
   uint32_t slow_den = 1;
   // Crash only: evict the member's share of the unified cache at restart
@@ -75,7 +78,10 @@ class FaultPlan {
                              uint32_t num, uint32_t den);
   FaultPlan& AddDiskFailStop(iolsim::SimTime at, iolsim::SimTime duration);
   FaultPlan& AddLinkOutage(iolsim::SimTime at, iolsim::SimTime duration);
-  FaultPlan& AddBackhaulFlap(iolsim::SimTime at, iolsim::SimTime duration);
+  // `level` targets one CDN hierarchy level's uplinks (src/driver CdnTier);
+  // -1 flaps every level. Single-proxy tiers ignore the level.
+  FaultPlan& AddBackhaulFlap(iolsim::SimTime at, iolsim::SimTime duration,
+                             int level = -1);
 
   // Seeded generators (SplitMix64; pure integer arithmetic so the schedule
   // is identical on every platform). Crashes are spread over [0, horizon):

@@ -121,7 +121,8 @@ std::optional<iolite::Aggregate> FileCache::Lookup(FileId file, uint64_t offset,
   return out;
 }
 
-void FileCache::Insert(FileId file, uint64_t offset, iolite::Aggregate data) {
+void FileCache::Insert(FileId file, uint64_t offset, iolite::Aggregate data,
+                       uint64_t version) {
   if (data.empty()) {
     return;
   }
@@ -150,21 +151,22 @@ void FileCache::Insert(FileId file, uint64_t offset, iolite::Aggregate data) {
   struct Remainder {
     uint64_t offset;
     iolite::Aggregate data;
+    uint64_t version;
   };
   std::vector<Remainder> remainders;
   for (EntryId id : overlapping) {
     Entry& e = entries_.at(id);
     uint64_t run_end = e.offset + e.data.size();
     if (e.offset < offset) {
-      remainders.push_back({e.offset, e.data.Range(0, offset - e.offset)});
+      remainders.push_back({e.offset, e.data.Range(0, offset - e.offset), e.version});
     }
     if (run_end > end) {
-      remainders.push_back({end, e.data.Range(end - e.offset, run_end - end)});
+      remainders.push_back({end, e.data.Range(end - e.offset, run_end - end), e.version});
     }
     EraseEntry(id);
   }
 
-  auto add = [&](uint64_t off, iolite::Aggregate agg) {
+  auto add = [&](uint64_t off, iolite::Aggregate agg, uint64_t ver) {
     EntryId id = next_id_++;
     bytes_ += agg.size();
     for (const iolite::Slice& s : agg.slices()) {
@@ -174,7 +176,7 @@ void FileCache::Insert(FileId file, uint64_t offset, iolite::Aggregate data) {
     // The inserting tenant owns the entry: the principal that missed pays
     // for the space (partitioned runs only; kDefaultTenant otherwise).
     iolsim::TenantId owner = ctx_->active_tenant();
-    entries_.emplace(id, Entry{file, off, std::move(agg), owner});
+    entries_.emplace(id, Entry{file, off, std::move(agg), owner, ver});
     by_file_[file][off] = id;
     policy_->OnInsert(id, sz);
     if (plan_ != nullptr) {
@@ -191,9 +193,41 @@ void FileCache::Insert(FileId file, uint64_t offset, iolite::Aggregate data) {
   };
 
   for (Remainder& r : remainders) {
-    add(r.offset, std::move(r.data));
+    add(r.offset, std::move(r.data), r.version);
   }
-  add(offset, std::move(data));
+  add(offset, std::move(data), version);
+}
+
+uint64_t FileCache::VersionOf(FileId file) const {
+  auto fit = by_file_.find(file);
+  if (fit == by_file_.end()) {
+    return 0;
+  }
+  uint64_t version = 0;
+  for (const auto& [off, id] : fit->second) {
+    uint64_t v = entries_.at(id).version;
+    if (v > version) {
+      version = v;
+    }
+  }
+  return version;
+}
+
+int FileCache::InvalidateOlderThan(FileId file, uint64_t min_version) {
+  auto fit = by_file_.find(file);
+  if (fit == by_file_.end()) {
+    return 0;
+  }
+  std::vector<EntryId> stale;
+  for (const auto& [off, id] : fit->second) {
+    if (entries_.at(id).version < min_version) {
+      stale.push_back(id);
+    }
+  }
+  for (EntryId id : stale) {
+    EraseEntry(id);
+  }
+  return static_cast<int>(stale.size());
 }
 
 void FileCache::InvalidateFile(FileId file) {

@@ -130,11 +130,37 @@ class FileCache : public CacheView {
 
   // Inserts `data` as the cache contents for [offset, offset+data.size()),
   // replacing any overlapping entries (their buffers persist while
-  // referenced elsewhere).
-  void Insert(FileId file, uint64_t offset, iolite::Aggregate data);
+  // referenced elsewhere). `version` tags the new entry for the CDN
+  // consistency plane (src/cdn): a versioned cache can answer "how old are
+  // these bytes?" without a side table. Trimmed remainders of overlapped
+  // entries keep their own version — IO-Lite immutability means the old
+  // snapshot is still exactly the old snapshot. Existing call sites pass no
+  // version and are unchanged.
+  void Insert(FileId file, uint64_t offset, iolite::Aggregate data,
+              uint64_t version = 0);
 
   // Drops all entries of `file`.
   void InvalidateFile(FileId file);
+
+  // --- CDN consistency plane (src/cdn) --------------------------------------
+
+  // Whether any extent of `file` is cached. No accounting: this is a
+  // metadata probe (invalidation targeting), not a lookup.
+  bool Contains(FileId file) const {
+    auto it = by_file_.find(file);
+    return it != by_file_.end() && !it->second.empty();
+  }
+
+  // Highest version tag among `file`'s cached entries (0 when absent or
+  // untagged). Proxies cache whole objects at offset 0, so this is the
+  // version of the bytes a hit would serve.
+  uint64_t VersionOf(FileId file) const;
+
+  // Drops every entry of `file` tagged with a version below `min_version` —
+  // the invalidation receive path. Returns the number of entries dropped
+  // (0 when the file is absent or already current). Not counted as
+  // evictions: the entry is not a replacement victim, it is dead data.
+  int InvalidateOlderThan(FileId file, uint64_t min_version);
 
   // Evicts entries until the cache holds at most `budget` bytes. Returns
   // the number of entries evicted.
@@ -156,6 +182,9 @@ class FileCache : public CacheView {
     uint64_t offset;
     iolite::Aggregate data;
     iolsim::TenantId tenant = iolsim::kDefaultTenant;
+    // Object version these bytes were fetched at (CDN consistency plane;
+    // 0 for untagged single-tier entries).
+    uint64_t version = 0;
   };
 
   // Per-tenant recency and byte accounting, maintained only when

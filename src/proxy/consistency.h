@@ -1,0 +1,91 @@
+// Cache-consistency protocols for the CDN hierarchy (src/cdn).
+//
+// IO-Lite immutability makes a *stale* snapshot free — any tier can keep
+// serving the bytes it holds, because nothing can mutate them in place —
+// but *freshness* costs backhaul bandwidth. Each interior link of the
+// hierarchy runs one of three protocols that trade those two currencies:
+//
+//  * kInvalidate  — the origin pushes an invalidation message down the tree
+//                   on every write; holders drop the stale entry, so the
+//                   next request refetches. Control cost scales with the
+//                   write rate; hits are always fresh.
+//  * kRevalidate  — entries carry a TTL; an expired hit issues a
+//                   conditional check upward (header bytes + one backhaul
+//                   RTT) and refreshes on a match. Control cost scales with
+//                   the request rate over the TTL; staleness is bounded by
+//                   the TTL exactly.
+//  * kStale       — serve forever, never check. Zero consistency traffic;
+//                   staleness is unbounded and measured instead.
+//
+// This header lives in src/proxy (not src/cdn) so ProxyServer can consume
+// the protocol without depending on the hierarchy layer: src/cdn implements
+// VersionSource (iolcdn::VersionAuthority) and wires the config downward.
+
+#ifndef SRC_PROXY_CONSISTENCY_H_
+#define SRC_PROXY_CONSISTENCY_H_
+
+#include <cstdint>
+
+#include "src/fs/sim_file_system.h"
+#include "src/simos/clock.h"
+
+namespace iolproxy {
+
+enum class ConsistencyMode : uint8_t {
+  kNone,        // Single-tier proxy (PR 5): no versions, no checks.
+  kInvalidate,  // Origin-push invalidations.
+  kRevalidate,  // TTL + conditional revalidation.
+  kStale,       // Serve forever, measure staleness.
+};
+
+inline const char* Name(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kNone:
+      return "none";
+    case ConsistencyMode::kInvalidate:
+      return "invalidate";
+    case ConsistencyMode::kRevalidate:
+      return "revalidate";
+    case ConsistencyMode::kStale:
+      return "stale";
+  }
+  return "?";
+}
+
+// The authoritative view of object versions, implemented by the hierarchy's
+// origin-side authority (iolcdn::VersionAuthority). Consulted by proxies at
+// fetch completion (to tag the cached bytes), at revalidation (to compare),
+// and at serve time (to detect a stale serve). Pure metadata: reading a
+// version costs nothing in the simulated machine — the modeled cost of
+// freshness is the backhaul traffic the protocol generates.
+class VersionSource {
+ public:
+  virtual ~VersionSource() = default;
+  // Current version of `file` (0 if never written).
+  virtual uint64_t VersionOf(iolfs::FileId file) const = 0;
+  // Instant of the write that produced the current version (0 if none).
+  virtual iolsim::SimTime WrittenAt(iolfs::FileId file) const = 0;
+};
+
+// Per-proxy consistency configuration, handed down by the hierarchy layer.
+struct ConsistencyConfig {
+  ConsistencyMode mode = ConsistencyMode::kNone;
+  // Authoritative versions (not owned; must outlive the proxy). Required
+  // for any mode but kNone.
+  VersionSource* source = nullptr;
+  // This proxy's level in the hierarchy (0 = edge), for the per-level
+  // SimStats::cdn[] counters. Must be in [0, SimStats::kMaxCdnLevels).
+  int level = 0;
+  // kRevalidate: an entry is trusted for this long after fetch/refresh.
+  iolsim::SimTime ttl = 0;
+};
+
+// Wire sizes of the consistency control plane. An invalidation is one small
+// control frame; a revalidation is a conditional request plus a header-only
+// 304 — both move headers, never payload.
+inline constexpr uint64_t kInvalidationBytes = 64;
+inline constexpr uint64_t kRevalidationBytes = 192;
+
+}  // namespace iolproxy
+
+#endif  // SRC_PROXY_CONSISTENCY_H_

@@ -177,13 +177,55 @@ void ProxyServer::LookupStage(iolhttp::RequestContext* req) {
     // Serve-stale: a hit during a backhaul outage serves from the proxy
     // tier exactly as it always does — count it so the drill can assert
     // the proxy stayed available through the flap.
-    if (BackhaulDown(ctx_->clock().now())) {
+    iolsim::SimTime now = ctx_->clock().now();
+    if (BackhaulDown(now)) {
       ++stale_hits_;
+    }
+    if (consistency_on()) {
+      if (ccfg_.mode == ConsistencyMode::kRevalidate && Expired(req->file, now) &&
+          !BackhaulDown(now)) {
+        // Expired entry: a conditional check must travel up the backhaul
+        // before these bytes may be served again. (During an outage the
+        // check cannot travel — fall through and serve stale instead: an
+        // edge masks its parent's flap at a measured staleness cost.)
+        uint64_t cached_version = cache_->VersionOf(req->file);
+        iolhttp::RunStageOn(
+            ctx_, proxy_cpu(), nullptr,
+            [this] {
+              ctx_->ChargeCpu(ctx_->cost().SyscallCost());
+              ctx_->stats().syscalls++;
+              ctx_->ChargeCpu(ctx_->cost().PacketProcessingCost(kRevalidationBytes));
+              cdn_stats().revalidations++;
+              cdn_stats().revalidation_bytes += kRevalidationBytes;
+            },
+            [this, idx, cached_version] {
+              // One backhaul round trip: conditional request up, header-only
+              // answer down — shaped like any other backhaul bytes.
+              iolsim::SimTime rtt = 2 * config_.backhaul_one_way_delay;
+              if (shaper_ != nullptr) {
+                iolsim::SimTime hold =
+                    shaper_->DelayFor(ctx_->clock().now(), kRevalidationBytes);
+                if (hold > 0) {
+                  cdn_stats().shaper_holds++;
+                }
+                rtt += hold;
+              }
+              ctx_->events().ScheduleAfter(rtt, [this, idx, cached_version] {
+                RevalidateResolve(idx, cached_version);
+              });
+            });
+        return;
+      }
+      cdn_stats().hits++;
+      NoteServe(req->file, cache_->VersionOf(req->file));
     }
     ServeBody(idx);
     return;
   }
   req->cache_hit = false;
+  if (consistency_on()) {
+    cdn_stats().misses++;
+  }
   // Fail-open: with the backhaul inside an outage window, a miss cannot
   // reach the origin until the window closes. Rather than queueing the
   // fetch behind the outage (tail latency), answer immediately with a
@@ -281,6 +323,21 @@ void ProxyServer::OnFetchDone(uint32_t idx) {
   iolsim::SimTime delay = config_.backhaul == BackhaulMode::kRemote
                               ? config_.backhaul_one_way_delay
                               : 0;
+  if (consistency_on()) {
+    // Tag the bytes with the version the origin held as it finished
+    // serving; ReceiveStage compares against the authority again to catch
+    // writes that beat the payload down the wire.
+    node.fetch_version = ccfg_.source->VersionOf(node.req->file);
+    if (shaper_ != nullptr) {
+      uint64_t size = io_->fs().SizeOf(node.req->file);
+      iolsim::SimTime hold = shaper_->DelayFor(
+          ctx_->clock().now(), size + iolhttp::kResponseHeaderBytes);
+      if (hold > 0) {
+        cdn_stats().shaper_holds++;
+      }
+      delay += hold;
+    }
+  }
   ctx_->events().ScheduleAfter(delay, [this, idx] { ReceiveStage(idx); });
 }
 
@@ -300,6 +357,9 @@ void ProxyServer::ReceiveStage(uint32_t idx) {
           ctx_->ChargeCpu(ctx_->cost().params().context_switch_cost);
         }
         ctx_->stats().backhaul_bytes += size;
+        if (consistency_on()) {
+          cdn_stats().backhaul_bytes += size;
+        }
         // The object lands in buffers filled by the NIC (no CPU charge).
         iolite::BufferRef buf = object_pool_->AllocateDma(
             static_cast<uint64_t>(node.req->file), size);
@@ -312,9 +372,30 @@ void ProxyServer::ReceiveStage(uint32_t idx) {
           ctx_->stats().copy_ops++;
           ctx_->stats().backhaul_bytes_copied += size;
         }
-        // An IO-Lite proxy mutates only cache metadata here: the entry's
-        // slices reference the receive buffers.
-        cache_->Insert(node.req->file, 0, node.body);
+        // Fetch/write race: a write landed while the payload was in flight.
+        // kInvalidate: the invalidation has already swept (or will never
+        // target) this cache — inserting would repollute it and break the
+        // "never serve older than the acknowledged write" invariant.
+        // kRevalidate: inserting would grant stale bytes a fresh TTL, so
+        // the ttl staleness bound would stretch by the flight time. Both
+        // serve the bytes (the request predates the write) but keep them
+        // out of the cache; kStale inserts regardless — serving old
+        // snapshots is that protocol's contract, and the staleness samples
+        // price it.
+        bool stale_fetch = consistency_on() &&
+                           ccfg_.mode != ConsistencyMode::kStale &&
+                           ccfg_.source->VersionOf(node.req->file) != node.fetch_version;
+        if (stale_fetch) {
+          cdn_stats().fetch_races++;
+          NoteServe(node.req->file, node.fetch_version);
+        } else {
+          // An IO-Lite proxy mutates only cache metadata here: the entry's
+          // slices reference the receive buffers.
+          cache_->Insert(node.req->file, 0, node.body, node.fetch_version);
+          if (consistency_on()) {
+            RefreshExpiry(node.req->file, ctx_->clock().now());
+          }
+        }
         cache_->EnforceBudget(config_.cache_bytes);
         if (config_.origin_cache_bytes > 0) {
           io_->cache().EnforceBudget(config_.origin_cache_bytes);
@@ -453,6 +534,76 @@ void ProxyServer::FinishServe(uint32_t idx) {
   ReleaseNode(idx);
   // Per-segment transmission of the response on the front link.
   TransmitStage(req);
+}
+
+// --- CDN consistency plane (src/cdn) ----------------------------------------
+
+void ProxyServer::ConfigureConsistency(const ConsistencyConfig& cfg) {
+  assert(cfg.mode == ConsistencyMode::kNone ||
+         (cfg.source != nullptr && cfg.level >= 0 &&
+          cfg.level < iolsim::SimStats::kMaxCdnLevels));
+  assert(cfg.mode != ConsistencyMode::kRevalidate || cfg.ttl > 0);
+  ccfg_ = cfg;
+}
+
+void ProxyServer::OnInvalidate(iolfs::FileId file, uint64_t version) {
+  assert(ccfg_.mode == ConsistencyMode::kInvalidate);
+  // The authority counts the send; we count whether the frame actually
+  // swept anything. Versioned drop, not InvalidateFile: a concurrent fetch
+  // may already have landed the *new* bytes, which must survive.
+  int dropped = cache_->InvalidateOlderThan(file, version);
+  if (dropped > 0) {
+    cdn_stats().invalidations_applied++;
+  }
+  expires_.erase(file);
+}
+
+void ProxyServer::RevalidateResolve(uint32_t idx, uint64_t cached_version) {
+  TaskNode& node = nodes_[idx];
+  uint64_t current = ccfg_.source->VersionOf(node.req->file);
+  if (current == cached_version) {
+    // 304: the cached bytes are still the origin's bytes — trust them for
+    // another TTL and serve what LookupStage already assembled.
+    RefreshExpiry(node.req->file, ctx_->clock().now());
+    cdn_stats().hits++;
+    ServeBody(idx);
+    return;
+  }
+  // Modified: the cached body is dead weight; fall into the normal fetch
+  // path (the fetched copy replaces the stale entry on arrival).
+  node.body = iolite::Aggregate{};
+  node.req->cache_hit = false;
+  cdn_stats().misses++;
+  node.is_fetch = true;
+  node.fetch_issue = ctx_->clock().now();
+  if (shared_cache_) {
+    ForwardIpc(idx);
+  } else {
+    ForwardRemote(idx);
+  }
+}
+
+void ProxyServer::NoteServe(iolfs::FileId file, uint64_t served_version) {
+  uint64_t current = ccfg_.source->VersionOf(file);
+  if (served_version == current) {
+    return;
+  }
+  ++stale_serves_;
+  cdn_stats().stale_serves++;
+  iolsim::SimTime written = ccfg_.source->WrittenAt(file);
+  iolsim::SimTime now = ctx_->clock().now();
+  staleness_samples_.push_back(now > written ? now - written : 0);
+}
+
+bool ProxyServer::Expired(iolfs::FileId file, iolsim::SimTime now) const {
+  auto it = expires_.find(file);
+  return it == expires_.end() || now >= it->second;
+}
+
+void ProxyServer::RefreshExpiry(iolfs::FileId file, iolsim::SimTime now) {
+  if (ccfg_.mode == ConsistencyMode::kRevalidate) {
+    expires_[file] = now + ccfg_.ttl;
+  }
 }
 
 }  // namespace iolproxy

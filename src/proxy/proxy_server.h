@@ -44,6 +44,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/fault/fault_plan.h"
@@ -51,6 +52,8 @@
 #include "src/httpd/http_server.h"
 #include "src/iolite/runtime.h"
 #include "src/net/tcp.h"
+#include "src/proxy/consistency.h"
+#include "src/qos/backhaul_shaper.h"
 #include "src/simos/sim_context.h"
 
 namespace iolproxy {
@@ -170,6 +173,38 @@ class ProxyServer : public iolhttp::HttpServer {
   uint64_t stale_hits() const { return stale_hits_; }
   uint64_t fail_open_serves() const { return fail_open_serves_; }
 
+  // --- CDN consistency plane (src/cdn) -----------------------------------
+  // Attaches a consistency protocol: fetched objects are version-tagged in
+  // the cache, hits are checked against the authoritative VersionSource,
+  // and the per-level SimStats::cdn[] counters go live. kNone (the default)
+  // keeps every pre-CDN code path byte-identical. Configure before traffic.
+  void ConfigureConsistency(const ConsistencyConfig& cfg);
+  bool consistency_on() const { return ccfg_.mode != ConsistencyMode::kNone; }
+  const ConsistencyConfig& consistency() const { return ccfg_; }
+
+  // Invalidation receive path (kInvalidate): drops cached extents of `file`
+  // older than `version`. Called by the hierarchy's VersionAuthority at the
+  // instant the invalidation frame arrives over this proxy's backhaul.
+  void OnInvalidate(iolfs::FileId file, uint64_t version);
+
+  // Whether any extent of `file` sits in this proxy's cache (invalidation
+  // targeting; pure metadata, no hit/miss accounting).
+  bool CachesFile(iolfs::FileId file) const { return cache_->Contains(file); }
+
+  // Token-bucket shaping of this proxy's backhaul bytes (ROADMAP 5a): when
+  // set, fetched payload, revalidation headers and invalidation frames are
+  // delayed to the shaper's grant before crossing the link. Not owned.
+  void set_backhaul_shaper(iolqos::BackhaulShaper* shaper) { shaper_ = shaper; }
+  iolqos::BackhaulShaper* backhaul_shaper() { return shaper_; }
+
+  // Serves whose bytes were older than the origin's current version, and
+  // the age of each such serve (now - the write that obsoleted the bytes).
+  // CdnTier folds the samples into staleness percentiles.
+  uint64_t stale_serves() const { return stale_serves_; }
+  const std::vector<iolsim::SimTime>& staleness_samples() const {
+    return staleness_samples_;
+  }
+
   // --- Per-tier accounting ---------------------------------------------------
   uint64_t origin_fetches() const { return origin_hits_ + origin_misses_; }
   uint64_t origin_hits() const { return origin_hits_; }
@@ -190,6 +225,9 @@ class ProxyServer : public iolhttp::HttpServer {
     bool origin_hit = false;
     iolsim::SimTime fetch_issue = 0;
     iolsim::SimTime fetch_admit = 0;
+    // Authoritative object version sampled when the origin finished serving
+    // this fetch (consistency plane; 0 with consistency off).
+    uint64_t fetch_version = 0;
     uint32_t next_free = UINT32_MAX;
   };
 
@@ -217,6 +255,21 @@ class ProxyServer : public iolhttp::HttpServer {
   // Shared tail: serve node's body to the client over the front link.
   void ServeBody(uint32_t idx);
   void FinishServe(uint32_t idx);
+
+  // --- Consistency plane (active only when consistency_on()) ---------------
+  // This proxy's per-level counter block.
+  iolsim::SimStats::CdnLevelStats& cdn_stats() {
+    return ctx_->stats().cdn[ccfg_.level];
+  }
+  // kRevalidate: the conditional check's response arrives; `cached_version`
+  // is what the cache held when the check was issued.
+  void RevalidateResolve(uint32_t idx, uint64_t cached_version);
+  // Serve-time staleness check: when `served_version` is behind the
+  // authority, counts a stale serve and samples its age.
+  void NoteServe(iolfs::FileId file, uint64_t served_version);
+  // Expiry bookkeeping for kRevalidate (trust-until instants per file).
+  bool Expired(iolfs::FileId file, iolsim::SimTime now) const;
+  void RefreshExpiry(iolfs::FileId file, iolsim::SimTime now);
 
   iolite::IoLiteRuntime* runtime_;
   std::vector<iolhttp::HttpServer*> origins_;
@@ -250,6 +303,15 @@ class ProxyServer : public iolhttp::HttpServer {
   // Resource defers transmissions and answers BackhaulDown via InOutage).
   uint64_t stale_hits_ = 0;
   uint64_t fail_open_serves_ = 0;
+
+  // Consistency plane (all empty/idle while ccfg_.mode == kNone, so the
+  // pre-CDN event sequence is untouched).
+  ConsistencyConfig ccfg_;
+  iolqos::BackhaulShaper* shaper_ = nullptr;
+  // kRevalidate: instant until which each cached object is trusted.
+  std::unordered_map<iolfs::FileId, iolsim::SimTime> expires_;
+  uint64_t stale_serves_ = 0;
+  std::vector<iolsim::SimTime> staleness_samples_;
 
   // Deque: origin pipelines hold &bh_req across their stage suspensions, so
   // node addresses must survive pool growth.

@@ -1,0 +1,66 @@
+// Token-bucket shaping of backhaul bytes (ROADMAP item 5a).
+//
+// The QoS plane's GCRA token bucket meters *requests* at the fleet front
+// door; the CDN hierarchy needs the complementary control: metering *bytes*
+// on each interior link, so one level's refill storm cannot saturate the
+// WAN pipe the level above shares. A BackhaulShaper wraps one TokenBucket
+// whose tokens are bytes: every transfer (object payload, invalidation
+// frame, revalidation headers) reserves its size and is delayed until the
+// grant — deterministic integer arithmetic, so shaped runs keep the
+// engine's run-twice byte-identity.
+
+#ifndef SRC_QOS_BACKHAUL_SHAPER_H_
+#define SRC_QOS_BACKHAUL_SHAPER_H_
+
+#include <cstdint>
+
+#include "src/qos/token_bucket.h"
+#include "src/simos/clock.h"
+
+namespace iolqos {
+
+class BackhaulShaper {
+ public:
+  // `bytes_per_sec` is the sustained shaped rate; `burst_bytes` may pass
+  // back-to-back after idle (>= one MTU keeps single transfers unshaped).
+  BackhaulShaper(double bytes_per_sec, double burst_bytes)
+      : bucket_(bytes_per_sec, burst_bytes) {}
+
+  // Reserves `bytes` at `now`; returns how long the transfer must wait
+  // before entering the link (0 when within rate/burst). Large transfers
+  // are granted as a unit: the GCRA TAT advances by size, so the *next*
+  // transfer pays for this one's bytes — classic leaky-bucket smoothing
+  // without per-packet events.
+  iolsim::SimTime DelayFor(iolsim::SimTime now, uint64_t bytes) {
+    if (bytes == 0) {
+      return 0;
+    }
+    // TokenBucket costs are uint32; charge oversized transfers in chunks.
+    iolsim::SimTime grant = now;
+    while (bytes > 0) {
+      uint32_t chunk = bytes > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(bytes);
+      grant = bucket_.ReserveAt(now, chunk);
+      bytes -= chunk;
+    }
+    iolsim::SimTime delay = grant > now ? grant - now : 0;
+    if (delay > 0) {
+      ++holds_;
+    }
+    return delay;
+  }
+
+  uint64_t holds() const { return holds_; }
+
+  void Reset() {
+    bucket_.Reset();
+    holds_ = 0;
+  }
+
+ private:
+  TokenBucket bucket_;
+  uint64_t holds_ = 0;
+};
+
+}  // namespace iolqos
+
+#endif  // SRC_QOS_BACKHAUL_SHAPER_H_

@@ -68,6 +68,27 @@ struct SimStats {
   uint64_t backhaul_bytes = 0;
   uint64_t backhaul_bytes_copied = 0;
 
+  // CDN hierarchy (src/cdn): per-level consistency and backhaul traffic.
+  // Level 0 is the edge tier, higher indices sit closer to the origin.
+  // Every counter here describes the proxies *at* that level: hits/misses
+  // of their caches, payload they pulled from their parents, consistency
+  // control traffic addressed to them, and the stale serves they performed.
+  static constexpr int kMaxCdnLevels = 4;
+  struct CdnLevelStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t backhaul_bytes = 0;       // Payload fetched from the parent.
+    uint64_t stale_serves = 0;         // Served bytes older than the origin's.
+    uint64_t invalidations_sent = 0;   // Invalidation messages delivered here.
+    uint64_t invalidations_applied = 0;  // ...that actually dropped an entry.
+    uint64_t revalidations = 0;        // Conditional checks issued upward.
+    uint64_t revalidation_bytes = 0;   // Header bytes those checks moved.
+    uint64_t fetch_races = 0;          // In-flight fetches beaten by a write.
+    uint64_t shaper_holds = 0;         // Backhaul transfers delayed by shaping.
+  };
+  CdnLevelStats cdn[kMaxCdnLevels];
+  uint64_t cdn_writes = 0;  // Origin WriteExtents applied by the write plan.
+
   // Shared-memory IPC (src/ipc): the real-transport descriptor rings.
   // `ipc_bytes_transferred` counts payload moved purely by reference (never
   // touched by the transport); `ipc_bytes_copied` counts payload that had to

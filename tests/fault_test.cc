@@ -17,6 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "src/cdn/cdn_topology.h"
+#include "src/cdn/write_plan.h"
+#include "src/driver/cdn_tier.h"
+#include "src/driver/edge_mix.h"
 #include "src/driver/experiment.h"
 #include "src/driver/fleet.h"
 #include "src/driver/telemetry.h"
@@ -583,6 +587,125 @@ TEST(ProxyFaultTest, ArmBackhaulFaultsArmsOnlyFlapEvents) {
   EXPECT_FALSE(r.proxy->BackhaulDown(2 * kMillisecond));
   EXPECT_TRUE(r.proxy->BackhaulDown(12 * kMillisecond));
   EXPECT_FALSE(r.proxy->BackhaulDown(16 * kMillisecond));
+}
+
+// --- CDN hierarchy: edge serve-stale masks a regional outage ------------------
+
+struct CdnDrillOutput {
+  ExperimentResult result;
+  Telemetry telemetry;
+  SimTime clock = 0;
+  uint64_t fail_open_serves = 0;
+};
+
+// Two edges behind one regional, kRevalidate with a short TTL, plus a
+// deterministic origin write stream so staleness has something to measure.
+// `plan` (may be null) is armed onto the hierarchy's backhaul wires.
+CdnDrillOutput RunCdnDrill(const FaultPlan* plan, SimTime ttl) {
+  CdnDrillOutput out;
+  iolsys::SystemOptions options;
+  options.cost.cpu_count = 2;
+  options.cost.disk_count = 2;
+  System sys(options);
+  std::vector<FileId> files;
+  for (int i = 0; i < 12; ++i) {
+    files.push_back(sys.fs().CreateFile("doc" + std::to_string(i), 4 * 1024));
+  }
+  std::vector<std::unique_ptr<iolhttp::HttpServer>> origins;
+  std::vector<iolhttp::HttpServer*> members;
+  for (int i = 0; i < 2; ++i) {
+    origins.push_back(std::make_unique<iolhttp::FlashLiteServer>(
+        &sys.ctx(), &sys.net(), &sys.io(), &sys.runtime()));
+    members.push_back(origins.back().get());
+  }
+  iolcdn::CdnTopology topo;
+  iolcdn::CdnLevelSpec edge;
+  edge.count = 2;
+  edge.cache_bytes = 256 * 1024;
+  iolcdn::CdnLevelSpec regional;
+  regional.count = 1;
+  regional.cache_bytes = 1024 * 1024;
+  topo.levels = {edge, regional};
+  topo.protocol = iolproxy::ConsistencyMode::kRevalidate;
+  topo.ttl = ttl;
+  iolproxy::ProxyConfig pc;
+  pc.data_path = iolproxy::ProxyDataPath::kIoLite;
+  pc.backhaul = iolproxy::BackhaulMode::kRemote;
+  ExperimentConfig config;
+  config.persistent_connections = true;
+  config.max_requests = 400;
+  config.warmup_requests = 0;
+  ioldrv::CdnTier tier(&sys.ctx(), &sys.net(), &sys.io(), &sys.runtime(),
+                       Fleet(members), topo, pc, config);
+  if (plan != nullptr) {
+    tier.ArmBackhaulFaults(*plan);
+  }
+  iolcdn::WritePlanSpec wspec;
+  wspec.writes_per_sec = 800;
+  wspec.num_files = files.size();
+  wspec.hot_bias = 1.0;
+  wspec.seed = 7;
+  iolcdn::WritePlan writes(&sys.ctx(), &tier.authority(), wspec);
+  tier.set_write_plan(&writes);
+  auto rng = std::make_shared<iolsim::Rng>(99);
+  std::vector<ioldrv::EdgePopulationSpec> pops;
+  pops.push_back({"metro-a", 2, [rng, &files]() -> FileId {
+                    return files[rng->NextBelow(8)];
+                  }});
+  pops.push_back({"metro-b", 2, [rng, &files]() -> FileId {
+                    return files[4 + rng->NextBelow(8)];
+                  }});
+  ioldrv::EdgeMix mix(std::move(pops));
+  out.result =
+      tier.Run(&mix, [&files]() { return files[0]; }, &out.telemetry);
+  out.clock = sys.ctx().clock().now();
+  for (int l = 0; l < tier.level_count(); ++l) {
+    for (int i = 0; i < tier.proxies_at(l); ++i) {
+      out.fail_open_serves += tier.proxy(l, i).fail_open_serves();
+    }
+  }
+  return out;
+}
+
+uint64_t CountDelivered(const Telemetry& t) {
+  uint64_t delivered = 0;
+  for (const RequestRecord& r : t.records()) {
+    if (r.counted && ioldrv::Delivered(r.outcome)) {
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+TEST(CdnFaultTest, EdgeServeStaleMasksRegionalOutage) {
+  const SimTime kTtl = 3 * kMillisecond;
+  CdnDrillOutput calm = RunCdnDrill(nullptr, kTtl);
+  ASSERT_GT(calm.result.requests, 0u);
+  ASSERT_GT(calm.result.staleness.count, 0u);
+  // Fault-free, the revalidation protocol keeps every serve under the TTL.
+  EXPECT_LT(calm.result.staleness.max_ms,
+            static_cast<double>(kTtl) / kMillisecond);
+
+  // Take the regional away for the middle half of the run: every edge
+  // uplink (level 0) flaps, so edges can neither revalidate nor fetch.
+  FaultPlan plan;
+  plan.AddBackhaulFlap(calm.clock / 4, calm.clock / 2, /*level=*/0);
+  CdnDrillOutput faulted = RunCdnDrill(&plan, kTtl);
+
+  // Availability holds: the same number of requests completes, every
+  // counted record is a real delivery, and nothing fell back to degraded
+  // fail-open responses — warm edges absorbed the outage.
+  EXPECT_EQ(faulted.result.requests, calm.result.requests);
+  EXPECT_EQ(CountDelivered(faulted.telemetry),
+            CountDelivered(calm.telemetry));
+  EXPECT_EQ(faulted.fail_open_serves, 0u);
+
+  // The mask's price is freshness: entries that expired during the flap
+  // kept serving, so the staleness tail blows through the TTL bound the
+  // calm run obeys.
+  EXPECT_GT(faulted.result.staleness.p99_ms, calm.result.staleness.p99_ms);
+  EXPECT_GT(faulted.result.staleness.max_ms,
+            static_cast<double>(kTtl) / kMillisecond);
 }
 
 // --- PinLedger mechanics ------------------------------------------------------
